@@ -1,0 +1,105 @@
+// Experiment B3 — §B.3: why the crash-model state of the art does not
+// survive omissions.
+//
+// The STOC'22 crash-model algorithm ([23]) owes its subquadratic
+// communication to amortization tricks of the form "double your contact set
+// when responses go missing" — sound when missing responses mean permanent
+// crashes. We reproduce the failure mode with the doubling-gossip
+// primitive: the same fault budget is played twice,
+//   * as physical crashes (faulty processes halt), and
+//   * as receive-starvation omissions (faulty processes stay up but hear
+//     nothing — every round they escalate, interrogating Θ(n) peers),
+// over a fixed horizon, and the per-exchange traffic is compared. The last
+// column shows Algorithm 1's per-epoch cost at the same n: the operative
+// partition pays Õ(n^{3/2}) per epoch regardless of the omission pattern —
+// the paper's answer to the §B.3 problem.
+#include <iostream>
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "baselines/doubling_gossip.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "expsup/table.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+using namespace omx;
+
+namespace {
+
+sim::Metrics run_gossip(std::uint32_t n, std::uint32_t t,
+                        bool starve, std::uint32_t horizon) {
+  baselines::DoublingConfig cfg;
+  cfg.t = t;
+  cfg.max_exchanges = horizon;
+  auto inputs = harness::make_inputs(harness::InputPattern::Random, n, 7);
+  baselines::DoublingGossipMachine machine(cfg, inputs);
+  rng::Ledger ledger(n, 1);
+
+  std::vector<sim::ProcessId> victims;
+  for (std::uint32_t i = 0; i < t; ++i) victims.push_back(i * 7 % n);
+  std::unique_ptr<sim::Adversary<core::Msg>> adv;
+  if (starve) {
+    adv = std::make_unique<adversary::StarveReceiversAdversary<core::Msg>>(
+        victims);
+  } else {
+    std::vector<adversary::StaticCrashAdversary<core::Msg>::Crash> schedule;
+    for (auto v : victims) schedule.push_back({v, 1});
+    adv = std::make_unique<adversary::StaticCrashAdversary<core::Msg>>(
+        std::move(schedule));
+  }
+  sim::Runner<core::Msg> runner(n, t, &ledger, adv.get());
+  machine.set_fault_view(&runner.faults());
+  machine.set_crash_semantics(!starve);
+  machine.set_run_full_horizon(true);
+  return runner.run(machine).metrics;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t horizon = 24;
+  expsup::Table table(
+      "§B.3 — doubling gossip: crashes vs omissions (fixed 24 exchanges)",
+      {"n", "t", "msgs/exchange (crash)", "msgs/exchange (omission)",
+       "blow-up", "Alg.1 msgs/epoch (omission)"});
+
+  for (std::uint32_t n : {128u, 256u, 512u, 1024u}) {
+    const std::uint32_t t = n / 16;
+    const auto crash = run_gossip(n, t, /*starve=*/false, horizon);
+    const auto omit = run_gossip(n, t, /*starve=*/true, horizon);
+    const double crash_rate =
+        static_cast<double>(crash.messages) / horizon;
+    const double omit_rate = static_cast<double>(omit.messages) / horizon;
+
+    // Algorithm 1 at the same scale, under general omissions.
+    harness::ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = core::Params::max_t_optimal(n);
+    cfg.attack = harness::Attack::RandomOmission;
+    cfg.inputs = harness::InputPattern::Random;
+    const auto alg1 = harness::run_experiment(cfg);
+    const core::Params params;
+    const double per_epoch =
+        static_cast<double>(alg1.metrics.messages) /
+        params.epochs(n, cfg.t);
+
+    table.add_row({expsup::Table::num(std::uint64_t{n}),
+                   expsup::Table::num(std::uint64_t{t}),
+                   expsup::Table::num(crash_rate),
+                   expsup::Table::num(omit_rate),
+                   expsup::Table::num(omit_rate / crash_rate),
+                   expsup::Table::num(per_epoch)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: against crashes the doubling primitive's traffic"
+               "\nstays near n*Delta per exchange; the same t as omission"
+               "\nfaults multiplies it (victims escalate to Theta(n) windows"
+               "\nand never stop) — the blow-up grows with n exactly as §B.3"
+               "\nargues. Algorithm 1's operative machinery pays a flat"
+               "\nO~(n^1.5) per epoch under the same omissions."
+            << std::endl;
+  return 0;
+}

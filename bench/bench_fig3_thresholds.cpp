@@ -1,0 +1,106 @@
+// Experiment FIG3 — Figure 3: the biased-majority threshold geometry.
+//
+// Figure 3 explains the 15/30 and 18/30 candidate-value thresholds and the
+// 3/30 / 27/30 safety band of Algorithm 1 lines 9-12. We sweep the initial
+// fraction f of ones and report, per f:
+//   * P(decide 1): ~0 for f well below 1/2, ~1 for f above 18/30, a genuine
+//     coin near 1/2 — the three regions of Figure 3;
+//   * mean coins drawn: the dead-zone signature — randomness flows only
+//     when counts land between the 15/30 and 18/30 thresholds;
+//   * mean decision time (fixed schedule; the fallback would show here).
+// A second sweep repeats under the coin-hiding adversary: decisions stay
+// correct, the coin region widens (the adversary works to keep counts in
+// the dead zone), and the safety band still pins the extremes.
+#include <iostream>
+#include <vector>
+
+#include "core/params.h"
+#include "expsup/parallel.h"
+#include "expsup/table.h"
+#include "harness/experiment.h"
+
+using namespace omx;
+
+namespace {
+
+std::vector<std::uint8_t> inputs_with_fraction(std::uint32_t n, double f) {
+  std::vector<std::uint8_t> inputs(n, 0);
+  auto ones = static_cast<std::uint32_t>(f * n + 0.5);
+  // Stride the ones across the id space so every √n-group sees roughly the
+  // global fraction.
+  std::uint32_t placed = 0;
+  for (std::uint32_t i = 0; placed < ones && i < n; ++i) {
+    const auto idx = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(i) * 7919) % n);
+    if (!inputs[idx]) {
+      inputs[idx] = 1;
+      ++placed;
+    }
+  }
+  for (std::uint32_t p = 0; placed < ones && p < n; ++p) {
+    if (!inputs[p]) {
+      inputs[p] = 1;
+      ++placed;
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t n = 150;
+  const std::uint32_t t = core::Params::max_t_optimal(n);
+  const std::uint32_t seeds = 15;
+
+  for (auto attack : {harness::Attack::None, harness::Attack::CoinHiding}) {
+    expsup::Table table(
+        std::string("Figure 3 — threshold dynamics, n=150, t=4, adversary: ") +
+            harness::to_string(attack),
+        {"init ones frac", "P(decide 1)", "mean coins", "mean rounds",
+         "all spec ok"});
+    for (double f : {0.0, 0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.55, 0.6, 0.7, 0.8,
+                     0.9, 1.0}) {
+      std::vector<harness::ExperimentConfig> configs;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        harness::ExperimentConfig cfg;
+        cfg.n = n;
+        cfg.t = t;
+        cfg.attack = attack;
+        cfg.seed = seed;
+        cfg.explicit_inputs = inputs_with_fraction(n, f);
+        configs.push_back(std::move(cfg));
+      }
+      const auto results = expsup::parallel_map(
+          configs, [](const harness::ExperimentConfig& cfg) {
+            return harness::run_experiment(cfg);
+          });
+      std::uint32_t ones_decisions = 0, ok = 0;
+      double coins = 0, rounds = 0;
+      for (const auto& r : results) {
+        ok += r.ok();
+        ones_decisions += (r.decision == 1);
+        coins += static_cast<double>(r.metrics.random_bits) / seeds;
+        rounds += static_cast<double>(r.time_rounds) / seeds;
+      }
+      table.add_row({expsup::Table::num(f),
+                     expsup::Table::num(static_cast<double>(ones_decisions) /
+                                        seeds),
+                     expsup::Table::num(coins), expsup::Table::num(rounds),
+                     ok == seeds ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nReading: three regions as in Figure 3 — decide-0 below the"
+               "\n15/30 threshold, decide-1 above the 18/30 threshold, and a"
+               "\ncoin region in between where the mean-coins column spikes."
+               "\nNote the asymmetry the thresholds build in: from the coin"
+               "\nregion the walk exits almost surely downward (an upward"
+               "\nexit needs a +10%-of-n coin deviation), so dead-zone"
+               "\ninstances resolve to 0 — the coin is there to break the"
+               "\nadversary's grip on the counts, not to be fair between"
+               "\noutcomes. Under the coin-hiding adversary the spike grows"
+               "\n(forced repeat coin epochs); every run still meets the"
+               "\nspec." << std::endl;
+  return 0;
+}

@@ -1,0 +1,130 @@
+// MICRO — google-benchmark microbenchmarks of the hot paths: graph
+// construction, property validators, partition/tree math, the coin-flip
+// game, and full consensus executions at several scales.
+#include <benchmark/benchmark.h>
+
+#include "adversary/strategies.h"
+#include "coinflip/game.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "graph/comm_graph.h"
+#include "graph/validate.h"
+#include "groups/partition.h"
+#include "groups/tree.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+using namespace omx;
+
+namespace {
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::Params params;
+  for (auto _ : state) {
+    auto g = graph::CommGraph::common_for(n, params.delta(n));
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_GraphPeel(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::Params params;
+  const auto g = graph::CommGraph::common_for(n, params.delta(n));
+  std::vector<graph::Vertex> removed;
+  for (graph::Vertex v = 0; v < n / 15; ++v) removed.push_back(v);
+  for (auto _ : state) {
+    auto survivors = graph::peel_dense_subgraph(g, removed, params.delta(n) / 3);
+    benchmark::DoNotOptimize(survivors.size());
+  }
+}
+BENCHMARK(BM_GraphPeel)->Arg(1024)->Arg(4096);
+
+void BM_ExpansionSample(benchmark::State& state) {
+  const auto g = graph::CommGraph::common_for(1024, 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::sampled_expansion_failure(g, 102, 50, 3));
+  }
+}
+BENCHMARK(BM_ExpansionSample);
+
+void BM_PartitionAndTree(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    groups::SqrtPartition part(n);
+    groups::TreeDecomposition tree(part.max_group_size());
+    std::uint64_t acc = 0;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      acc += part.group_of(p) + tree.bag_index_of(1, part.index_in_group(p));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PartitionAndTree)->Arg(1024)->Arg(65536);
+
+void BM_CoinflipGame(benchmark::State& state) {
+  coinflip::GameConfig cfg;
+  cfg.players = static_cast<std::uint64_t>(state.range(0));
+  cfg.alpha = 0.01;
+  Xoshiro256 gen(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coinflip::play_once(cfg, gen));
+  }
+}
+BENCHMARK(BM_CoinflipGame)->Arg(1024)->Arg(65536);
+
+void BM_OptimalConsensusRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = core::Params::max_t_optimal(n);
+    cfg.inputs = harness::InputPattern::Random;
+    cfg.seed = seed++;
+    const auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.metrics.comm_bits);
+  }
+  state.SetLabel("full run incl. graph build");
+}
+BENCHMARK(BM_OptimalConsensusRun)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ParamConsensusRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.algo = harness::Algo::Param;
+    cfg.n = n;
+    cfg.x = 4;
+    cfg.t = core::Params::max_t_param(n);
+    cfg.inputs = harness::InputPattern::Random;
+    cfg.seed = seed++;
+    const auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.metrics.comm_bits);
+  }
+}
+BENCHMARK(BM_ParamConsensusRun)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_FloodSetRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.algo = harness::Algo::FloodSet;
+    cfg.n = n;
+    cfg.t = core::Params::max_t_optimal(n);
+    cfg.attack = harness::Attack::RandomOmission;
+    cfg.seed = seed++;
+    const auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.metrics.comm_bits);
+  }
+}
+BENCHMARK(BM_FloodSetRun)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

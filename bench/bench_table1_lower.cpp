@@ -1,0 +1,134 @@
+// Experiments T1-thm2 and T1-low-BJB — Table 1, rows "Thm 2" and "[10]".
+//
+// (A) Bar-Joseph/Ben-Or delay ([10]): against the full-information
+//     coin-hiding adversary with t = n/8 faults, the round count of the
+//     vote-style baseline grows like t/√(n·log n) ~ √(n/log n); benign runs
+//     finish in O(1) rounds. We sweep n and fit the exponent.
+//
+// (B) Theorem 2 frontier: T × (R + T) = Ω(t²/log n) for every algorithm
+//     correct whp. We run the whole algorithm portfolio (deterministic,
+//     randomness-capped, trade-off at several x, fully randomized) under
+//     the coin-hiding adversary and report the measured product against
+//     t²/log n — every row must sit above a constant floor, tracing the
+//     spectrum between the deterministic (R=0, T=Θ(t)) and randomized
+//     (R=Θ̃(n^{3/2}), T=Θ̃(√n)) extremes.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/params.h"
+#include "expsup/fit.h"
+#include "expsup/table.h"
+#include "harness/experiment.h"
+
+using namespace omx;
+
+int main() {
+  // ---------- (A) coin-hiding delay on the vote-style baseline ----------
+  expsup::Table delay(
+      "Table 1 / row [10] — coin-hiding adversary vs Ben-Or-style voting",
+      {"n", "t", "rounds (attacked)", "rounds (benign)", "stretch",
+       "t/sqrt(n log n)"});
+  std::vector<double> ns, stretched;
+  for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
+    const std::uint32_t t = n / 8;
+    const std::uint32_t seeds = 3;
+    double attacked = 0, benign = 0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      harness::ExperimentConfig cfg;
+      cfg.algo = harness::Algo::BenOr;
+      cfg.n = n;
+      cfg.t = t;
+      cfg.inputs = harness::InputPattern::Alternating;
+      cfg.seed = seed;
+      cfg.attack = harness::Attack::CoinHiding;
+      attacked += static_cast<double>(
+                      harness::run_experiment(cfg).time_rounds) / seeds;
+      cfg.attack = harness::Attack::None;
+      benign += static_cast<double>(
+                    harness::run_experiment(cfg).time_rounds) / seeds;
+    }
+    const double theory =
+        t / std::sqrt(static_cast<double>(n) * std::log2(double(n)));
+    delay.add_row({expsup::Table::num(std::uint64_t{n}),
+                   expsup::Table::num(std::uint64_t{t}),
+                   expsup::Table::num(attacked), expsup::Table::num(benign),
+                   expsup::Table::num(attacked / benign),
+                   expsup::Table::num(theory)});
+    ns.push_back(n);
+    stretched.push_back(attacked);
+  }
+  delay.print(std::cout);
+  // Fit attacked rounds against the theory knob t/sqrt(n log n). At laptop
+  // n that knob only spans ~0.4..1.3, so we report the fitted slope in the
+  // knob (target: positive, order 1) rather than pretending to measure the
+  // asymptotic exponent.
+  std::vector<double> knob;
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const double nn = ns[i];
+    knob.push_back((nn / 8.0) / std::sqrt(nn * std::log2(nn)));
+  }
+  const auto fit = expsup::fit_loglog(knob, stretched);
+  std::cout << "fitted slope of attacked rounds vs t/sqrt(n log n): "
+            << expsup::Table::num(fit.slope)
+            << "   (paper: rounds = Omega(t/sqrt(n log n)); knob spans < 1.3"
+               " at these n)\n";
+
+  // ---------- (B) Theorem 2 frontier across the portfolio ----------
+  const std::uint32_t n = 512;
+  expsup::Table frontier(
+      "Table 1 / row Thm 2 — T x (R+T) vs t^2/log n at n = 512",
+      {"algorithm", "R budget", "t", "T", "R used (calls)", "T*(R+T)",
+       "t^2/log n", "ratio", "spec ok"});
+
+  struct Row {
+    harness::Algo algo;
+    std::uint32_t x;
+    std::uint64_t budget;
+    const char* label;
+  };
+  const std::vector<Row> rows{
+      {harness::Algo::FloodSet, 1, 0, "floodset (deterministic)"},
+      {harness::Algo::Optimal, 1, 0, "optimal, R capped to 0"},
+      {harness::Algo::Optimal, 1, 64, "optimal, R capped to 64"},
+      {harness::Algo::Param, 64, rng::kUnlimited, "param x=64"},
+      {harness::Algo::Param, 16, rng::kUnlimited, "param x=16"},
+      {harness::Algo::Param, 4, rng::kUnlimited, "param x=4"},
+      {harness::Algo::Optimal, 1, rng::kUnlimited, "optimal (full R)"},
+      {harness::Algo::BenOr, 1, rng::kUnlimited, "benor (full R)"},
+  };
+  for (const auto& row : rows) {
+    harness::ExperimentConfig cfg;
+    cfg.algo = row.algo;
+    cfg.n = n;
+    cfg.t = row.algo == harness::Algo::Param
+                ? core::Params::max_t_param(n)
+                : core::Params::max_t_optimal(n);
+    cfg.x = row.x;
+    cfg.inputs = harness::InputPattern::Alternating;
+    cfg.random_bit_budget = row.budget;
+    cfg.attack = row.algo == harness::Algo::FloodSet
+                     ? harness::Attack::RandomOmission
+                     : harness::Attack::CoinHiding;
+    const auto r = harness::run_experiment(cfg);
+    const double T = static_cast<double>(r.time_rounds);
+    const double R = static_cast<double>(r.metrics.random_calls);
+    const double product = T * (R + T);
+    const double bound = static_cast<double>(cfg.t) * cfg.t /
+                         std::log2(static_cast<double>(n));
+    frontier.add_row(
+        {row.label,
+         row.budget == rng::kUnlimited ? "unlimited"
+                                       : expsup::Table::num(row.budget),
+         expsup::Table::num(std::uint64_t{cfg.t}), expsup::Table::num(T),
+         expsup::Table::num(R), expsup::Table::num(product),
+         expsup::Table::num(bound), expsup::Table::num(product / bound),
+         r.ok() ? "yes" : "NO"});
+  }
+  frontier.print(std::cout);
+  std::cout << "\nReading: every correct algorithm's T x (R+T) stays above a"
+               "\nconstant multiple of t^2/log n (Theorem 2); randomness-"
+               "\nstarved configurations pay with proportionally more rounds."
+            << std::endl;
+  return 0;
+}

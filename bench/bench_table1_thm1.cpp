@@ -1,0 +1,167 @@
+// Experiment T1-thm1 — Table 1, row "Thm 1" (and row "[1]" message counts).
+//
+// Claim: OptimalOmissionsConsensus with t = Θ(n) runs in O(√n·log²n)
+// rounds, O(n²·log³n) communication bits and O(n^{3/2}·log²n) random bits.
+// The deterministic baseline needs Θ(t) rounds; the Ben-Or-style baseline
+// pays Θ(n²) bits per round.
+//
+// We sweep n with t = max tolerated (t < n/30, i.e. t = Θ(n)), across
+// adversaries, and report measured rounds / bits / random bits plus fitted
+// log-log scaling exponents next to the paper's targets. Absolute constants
+// are not comparable (the paper's are proof artifacts); the *exponents* and
+// the baseline orderings are the reproduction target.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "expsup/fit.h"
+#include "expsup/table.h"
+#include "harness/experiment.h"
+
+using namespace omx;
+
+namespace {
+
+struct Series {
+  std::vector<double> n, rounds, bits, rand_bits, msgs;
+};
+
+void record(Series& s, double n, const harness::ExperimentResult& r) {
+  s.n.push_back(n);
+  s.rounds.push_back(static_cast<double>(r.time_rounds));
+  s.bits.push_back(static_cast<double>(r.metrics.comm_bits));
+  s.rand_bits.push_back(static_cast<double>(std::max<std::uint64_t>(
+      r.metrics.random_bits, 1)));
+  s.msgs.push_back(static_cast<double>(r.metrics.messages));
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint32_t> sizes{64, 128, 256, 512, 1024};
+  const std::vector<harness::Attack> attacks{
+      harness::Attack::None, harness::Attack::RandomOmission,
+      harness::Attack::GroupKiller, harness::Attack::CoinHiding};
+
+  expsup::Table table(
+      "Table 1 / row Thm 1 — OptimalOmissionsConsensus at t = Theta(n)",
+      {"algo", "adversary", "n", "t", "rounds", "messages", "comm bits",
+       "rand bits", "fallback", "spec ok"});
+
+  Series opt;  // averaged over attacks, for the exponent fit
+  for (std::uint32_t n : sizes) {
+    const std::uint32_t t = core::Params::max_t_optimal(n);
+    const std::uint32_t seeds = n >= 512 ? 2 : 3;
+    // A decision broadcast later than this means the deterministic
+    // fallback engaged (the whp-exception path).
+    const std::uint32_t no_fb_horizon =
+        core::OptimalCore::schedule_length(core::Params::practical(), n, t,
+                                           /*truncated=*/true) + 1;
+    for (auto attack : attacks) {
+      harness::ExperimentResult acc{};
+      std::uint64_t ok = 0;
+      std::uint32_t fallbacks = 0;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        harness::ExperimentConfig cfg;
+        cfg.algo = harness::Algo::Optimal;
+        cfg.attack = attack;
+        // The hard instance: every group split 50/50 puts epoch 1 in the
+        // dead zone, so coins flow and the coin-hiding adversary has a
+        // game to play (random inputs often unify in one epoch).
+        cfg.inputs = harness::InputPattern::Alternating;
+        cfg.n = n;
+        cfg.t = t;
+        cfg.seed = seed * 7919;
+        const auto r = harness::run_experiment(cfg);
+        ok += r.ok();
+        fallbacks += r.time_rounds > no_fb_horizon;
+        acc.time_rounds += r.time_rounds;
+        acc.metrics.messages += r.metrics.messages;
+        acc.metrics.comm_bits += r.metrics.comm_bits;
+        acc.metrics.random_bits += r.metrics.random_bits;
+      }
+      acc.time_rounds /= seeds;
+      acc.metrics.messages /= seeds;
+      acc.metrics.comm_bits /= seeds;
+      acc.metrics.random_bits /= seeds;
+      table.add_row({"optimal", harness::to_string(attack),
+                     expsup::Table::num(std::uint64_t{n}),
+                     expsup::Table::num(std::uint64_t{t}),
+                     expsup::Table::num(acc.time_rounds),
+                     expsup::Table::num(acc.metrics.messages),
+                     expsup::Table::num(acc.metrics.comm_bits),
+                     expsup::Table::num(acc.metrics.random_bits),
+                     fallbacks == 0 ? "-" : std::to_string(fallbacks) + "/" +
+                                                std::to_string(seeds),
+                     ok == seeds ? "yes" : "NO"});
+      if (attack == harness::Attack::CoinHiding) {
+        acc.agreement = true;
+        record(opt, n, acc);
+      }
+    }
+  }
+
+  // Baselines at the same (n, t).
+  Series det, benor;
+  for (std::uint32_t n : sizes) {
+    const std::uint32_t t = core::Params::max_t_optimal(n);
+    for (auto algo : {harness::Algo::FloodSet, harness::Algo::BenOr}) {
+      harness::ExperimentConfig cfg;
+      cfg.algo = algo;
+      cfg.attack = algo == harness::Algo::FloodSet
+                       ? harness::Attack::RandomOmission
+                       : harness::Attack::StaticCrash;
+      cfg.n = n;
+      cfg.t = t;
+      const auto r = harness::run_experiment(cfg);
+      table.add_row({harness::to_string(algo), harness::to_string(cfg.attack),
+                     expsup::Table::num(std::uint64_t{n}),
+                     expsup::Table::num(std::uint64_t{t}),
+                     expsup::Table::num(r.time_rounds),
+                     expsup::Table::num(r.metrics.messages),
+                     expsup::Table::num(r.metrics.comm_bits),
+                     expsup::Table::num(r.metrics.random_bits), "-",
+                     r.ok() ? "yes" : "NO"});
+      record(algo == harness::Algo::FloodSet ? det : benor, n, r);
+    }
+  }
+  table.print(std::cout);
+
+  const auto fit_rounds = expsup::fit_loglog(opt.n, opt.rounds);
+  const auto fit_bits = expsup::fit_loglog(opt.n, opt.bits);
+  const auto fit_rand = expsup::fit_loglog(opt.n, opt.rand_bits);
+  const auto fit_msgs = expsup::fit_loglog(opt.n, opt.msgs);
+  const auto fit_det = expsup::fit_loglog(det.n, det.rounds);
+
+  expsup::Table fits("Fitted scaling exponents vs paper targets",
+                     {"quantity", "fitted n-exponent", "R^2",
+                      "paper (polylog factors add drift)"});
+  fits.add_row({"optimal rounds", expsup::Table::num(fit_rounds.slope),
+                expsup::Table::num(fit_rounds.r2),
+                "0.5  (sqrt(n) log^2 n)"});
+  fits.add_row({"optimal comm bits", expsup::Table::num(fit_bits.slope),
+                expsup::Table::num(fit_bits.r2), "2  (n^2 log^3 n)"});
+  // The paper's n^1.5 randomness is a worst-case *upper bound*: the
+  // adversary can force ~t/(sqrt(n)/2) coin epochs, i.e. the n^1.5 term
+  // only dominates the ~n "natural" coin epochs once sqrt(n)/15 >> 1
+  // (n >> 10^3). At laptop n the measured slope sits between 1 and 1.5 and
+  // the envelope check (integration_test) confirms it never exceeds the
+  // paper bound.
+  fits.add_row({"optimal random bits", expsup::Table::num(fit_rand.slope),
+                expsup::Table::num(fit_rand.r2),
+                "<= 1.5 upper bd (n^1.5 log^2 n); ~1 at laptop n"});
+  fits.add_row({"optimal messages", expsup::Table::num(fit_msgs.slope),
+                expsup::Table::num(fit_msgs.r2),
+                ">= 2  ([1]: Omega(t^2) lower bound)"});
+  fits.add_row({"floodset rounds", expsup::Table::num(fit_det.slope),
+                expsup::Table::num(fit_det.r2), "1  (Theta(t), t = n/30)"});
+  fits.print(std::cout);
+
+  std::printf(
+      "\nNote: at laptop n the polylog terms dominate the sqrt(n) round\n"
+      "advantage over the Theta(t) baseline (crossover needs n ~ 2^26 at\n"
+      "paper constants); the exponents above are the reproduction target.\n");
+  return 0;
+}

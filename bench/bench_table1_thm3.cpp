@@ -1,0 +1,80 @@
+// Experiment T1-thm3 — Table 1, row "Thm 3": the time ↔ randomness
+// trade-off of ParamOmissions (Algorithm 4).
+//
+// Claim: for any randomness level R ∈ Õ(n^{3/2}), consensus in Õ(n²/R)
+// rounds with Õ(n²) communication bits, independent of R. Equivalently:
+// sweeping the super-process count x traces a frontier with
+// T × R ≈ Θ̃(n²) while comm bits stay flat.
+//
+// We sweep x, measure (T, R, bits), and report the normalized invariant
+// T·R/n² (should stay within a polylog band) and bits/n² (should be flat).
+#include <iostream>
+#include <vector>
+
+#include "core/params.h"
+#include "expsup/fit.h"
+#include "expsup/table.h"
+#include "harness/experiment.h"
+
+using namespace omx;
+
+int main() {
+  for (std::uint32_t n : {256u, 576u}) {
+    const std::uint32_t t = core::Params::max_t_param(n);
+    expsup::Table table(
+        "Table 1 / row Thm 3 — ParamOmissions trade-off, n = " +
+            std::to_string(n) + ", t = " + std::to_string(t),
+        {"x", "rounds T", "rand bits R", "T*R / n^2", "comm bits",
+         "bits / n^2", "spec ok"});
+
+    std::vector<double> xs, ts, rs, bs;
+    for (std::uint32_t x = 1; x <= n / 8; x *= 4) {
+      const std::uint32_t seeds = 3;
+      double time = 0, rand_bits = 0, bits = 0;
+      std::uint32_t ok = 0;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        harness::ExperimentConfig cfg;
+        cfg.algo = harness::Algo::Param;
+        cfg.attack = harness::Attack::RandomOmission;
+        cfg.inputs = harness::InputPattern::Alternating;  // every group split 50/50: coins in play at all x
+        cfg.n = n;
+        cfg.t = t;
+        cfg.x = x;
+        cfg.seed = seed;
+        const auto r = harness::run_experiment(cfg);
+        ok += r.ok();
+        time += static_cast<double>(r.time_rounds) / seeds;
+        rand_bits += static_cast<double>(r.metrics.random_bits) / seeds;
+        bits += static_cast<double>(r.metrics.comm_bits) / seeds;
+      }
+      const double n2 = static_cast<double>(n) * n;
+      table.add_row({expsup::Table::num(std::uint64_t{x}),
+                     expsup::Table::num(time),
+                     expsup::Table::num(rand_bits),
+                     expsup::Table::num(time * std::max(rand_bits, 1.0) / n2),
+                     expsup::Table::num(bits),
+                     expsup::Table::num(bits / n2),
+                     ok == seeds ? "yes" : "NO"});
+      xs.push_back(x);
+      ts.push_back(time);
+      rs.push_back(std::max(rand_bits, 1.0));
+      bs.push_back(bits);
+    }
+    table.print(std::cout);
+
+    const auto ft = expsup::fit_loglog(xs, ts);
+    const auto fb = expsup::fit_loglog(xs, bs);
+    expsup::Table fits("Exponents in x (n = " + std::to_string(n) + ")",
+                       {"quantity", "fitted x-exponent", "paper"});
+    fits.add_row({"rounds T", expsup::Table::num(ft.slope),
+                  "0.5  (T = O~(sqrt(n x)))"});
+    fits.add_row({"comm bits", expsup::Table::num(fb.slope),
+                  "~0  (independent of R)"});
+    fits.print(std::cout);
+  }
+  std::cout << "\nReading: rounds grow ~sqrt(x), measured random bits shrink"
+               "\nwith x, their product stays inside a polylog band of n^2,"
+               "\nand communication does not depend on the randomness level."
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Distributed-ledger block commitment — the application the paper's
+// introduction motivates ("distributed ledger implementations ... based on
+// consensus").
+//
+// n replicas append blocks to a ledger. For each block, the proposer's
+// broadcast may only reach part of the cluster (and an adaptive adversary
+// omission-faults some replicas), so the replicas run binary consensus on
+// "did the block propagate?" — commit on 1, skip on 0. The example verifies
+// that all healthy replicas end with the *identical* chain, whatever the
+// adversary does.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "support/prng.h"
+
+int main() {
+  using namespace omx;
+
+  const std::uint32_t n = 90;
+  const std::uint32_t t = core::Params::max_t_optimal(n);
+  const std::uint32_t blocks = 8;
+  Xoshiro256 world(424242);
+
+  std::vector<std::string> chain;
+  std::printf("replicating a ledger across %u replicas (%u faulty)\n\n", n, t);
+
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    // Simulate propagation of block b: each replica independently received
+    // the proposer's broadcast with probability depending on the block.
+    const double reach = 0.15 + 0.1 * b;  // early blocks propagate poorly
+    std::vector<std::uint8_t> got(n, 0);
+    for (auto& bit : got) bit = world.bernoulli(reach) ? 1 : 0;
+
+    harness::ExperimentConfig cfg;
+    cfg.algo = harness::Algo::Optimal;
+    cfg.attack = harness::Attack::SplitBrain;  // adversarial half-visibility
+    cfg.n = n;
+    cfg.t = t;
+    cfg.explicit_inputs = got;
+    cfg.seed = 1000 + b;
+    const auto r = harness::run_experiment(cfg);
+
+    if (!r.agreement || !r.all_nonfaulty_decided) {
+      std::printf("block %u: CONSENSUS FAILED — aborting\n", b);
+      return 1;
+    }
+    std::uint32_t holders = 0;
+    for (auto bit : got) holders += bit;
+    if (r.decision == 1) {
+      chain.push_back("block-" + std::to_string(b));
+      std::printf("block %u: %3u/%u replicas saw it -> COMMIT  (%llu rounds)\n",
+                  b, holders, n,
+                  static_cast<unsigned long long>(r.time_rounds));
+    } else {
+      std::printf("block %u: %3u/%u replicas saw it -> skip    (%llu rounds)\n",
+                  b, holders, n,
+                  static_cast<unsigned long long>(r.time_rounds));
+    }
+  }
+
+  std::printf("\nfinal chain on every healthy replica (%zu blocks):", chain.size());
+  for (const auto& blk : chain) std::printf(" %s", blk.c_str());
+  std::printf("\nall healthy replicas agree on the chain: yes\n");
+  return 0;
+}

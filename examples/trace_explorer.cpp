@@ -1,0 +1,62 @@
+// Trace explorer: attach a Recorder to an execution and print the
+// round-by-round communication profile of Algorithm 1 — the epoch structure
+// (3-round relays, spreading bursts, the decision broadcast spike) is
+// clearly visible in the bit volumes.
+#include <cstdio>
+
+#include "adversary/recorder.h"
+#include "adversary/strategies.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+int main() {
+  using namespace omx;
+  const std::uint32_t n = 256;
+  const std::uint32_t t = core::Params::max_t_optimal(n);
+
+  core::OptimalConfig cfg;
+  cfg.t = t;
+  cfg.params.early_decide = true;  // finish as soon as a supermajority forms
+  auto inputs = harness::make_inputs(harness::InputPattern::Alternating, n, 3);
+  core::OptimalMachine machine(cfg, inputs);
+
+  rng::Ledger ledger(n, 3);
+  adversary::RandomOmissionAdversary<core::Msg> attack(n, t, 0.9, 11);
+  adversary::Recorder<core::Msg> recorder(&attack);
+  sim::Runner<core::Msg> runner(n, t, &ledger, &recorder);
+  machine.set_fault_view(&runner.faults());
+  runner.run(machine);
+
+  const auto& core_ref = machine.core();
+  std::printf("round-by-round profile, n=%u, t=%u, epoch=%u rounds\n", n, t,
+              core_ref.epoch_rounds());
+  std::printf("%6s  %9s  %10s  %8s  %5s  %s\n", "round", "msgs", "bits",
+              "omitted", "corr", "volume");
+  for (const auto& tr : recorder.trace()) {
+    // One '#' per 256 kbit, capped for narrow terminals.
+    int bars = static_cast<int>(tr.bits / 262144);
+    if (bars > 60) bars = 60;
+    std::printf("%6u  %9llu  %10llu  %8llu  %5u  ", tr.round,
+                static_cast<unsigned long long>(tr.messages),
+                static_cast<unsigned long long>(tr.bits),
+                static_cast<unsigned long long>(tr.omitted), tr.corrupted);
+    for (int i = 0; i < bars; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+
+  const auto peak = recorder.peak_bits_round();
+  std::printf(
+      "\ntotal: %llu messages, %llu bits over %zu rounds;"
+      " peak round %u (%llu bits)\n",
+      static_cast<unsigned long long>(recorder.total_messages()),
+      static_cast<unsigned long long>(recorder.total_bits()),
+      recorder.trace().size(), peak.round,
+      static_cast<unsigned long long>(peak.bits));
+  std::printf(
+      "pattern guide: small ripples = 3-round group relays; wide plateaus ="
+      "\nspreading gossip; the final spike = the decision broadcast.\n");
+  return 0;
+}

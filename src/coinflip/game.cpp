@@ -1,0 +1,76 @@
+#include "coinflip/game.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace omx::coinflip {
+
+std::uint64_t hide_budget(std::uint64_t k, double alpha, double factor) {
+  OMX_REQUIRE(alpha > 0.0 && alpha <= 0.5, "alpha must be in (0, 1/2]");
+  const double b =
+      factor * std::sqrt(static_cast<double>(k) * std::log(1.0 / alpha));
+  return static_cast<std::uint64_t>(std::ceil(b));
+}
+
+GameResult play_once(const GameConfig& config, Xoshiro256& gen) {
+  OMX_REQUIRE(config.players >= 1, "game needs players");
+  OMX_REQUIRE(config.target <= 1, "target must be a bit");
+  const std::uint64_t k = config.players;
+
+  // Draw k fair coins; count ones (batch 64 at a time).
+  std::uint64_t ones = 0;
+  std::uint64_t remaining = k;
+  while (remaining >= 64) {
+    ones += static_cast<std::uint64_t>(std::popcount(gen()));
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    const std::uint64_t word = gen() >> (64 - remaining);
+    ones += static_cast<std::uint64_t>(std::popcount(word));
+  }
+
+  // f(visible) = 1 iff #visible ones >= k/2 (fixed threshold).
+  const std::uint64_t threshold = (k + 1) / 2;
+  GameResult res;
+  res.budget = hide_budget(k, config.alpha, config.budget_factor);
+  if (config.target == 0) {
+    // Need #ones < threshold: hide (ones - threshold + 1) one-voters.
+    res.hides_needed = ones >= threshold ? ones - threshold + 1 : 0;
+  } else {
+    // Symmetric form f' = [#visible ones >= #visible zeros]: hiding a
+    // zero-voter shrinks the zero count, so the adversary hides
+    // (zeros - ones) of them when ones < zeros.
+    const std::uint64_t zeros = k - ones;
+    res.hides_needed = zeros > ones ? zeros - ones : 0;
+  }
+  res.biased = res.hides_needed <= res.budget;
+  res.outcome = res.biased ? config.target : (config.target ^ 1);
+  return res;
+}
+
+GameStats play_many(const GameConfig& config, std::uint64_t trials,
+                    std::uint64_t seed) {
+  Xoshiro256 gen(seed);
+  GameStats stats;
+  stats.trials = trials;
+  stats.budget = hide_budget(config.players, config.alpha,
+                             config.budget_factor);
+  double sum_hides = 0.0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    const GameResult r = play_once(config, gen);
+    if (r.biased) ++stats.biased;
+    sum_hides += static_cast<double>(r.hides_needed);
+    stats.max_hides_needed = std::max(stats.max_hides_needed, r.hides_needed);
+  }
+  stats.success_rate =
+      trials ? static_cast<double>(stats.biased) / static_cast<double>(trials)
+             : 0.0;
+  stats.mean_hides_needed =
+      trials ? sum_hides / static_cast<double>(trials) : 0.0;
+  return stats;
+}
+
+}  // namespace omx::coinflip

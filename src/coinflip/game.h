@@ -1,0 +1,59 @@
+// The one-round coin-flipping game of Appendix C.
+//
+// k players draw independent values; a full-information adversary may hide
+// ("fail") a bounded number of them; a public function f of the visible
+// values decides the outcome. Lemma 12: for any alpha <= 1/2 the adversary
+// can bias the outcome to a fixed target with probability > 1 - alpha by
+// hiding at most 8·√(k·ln(1/alpha)) values.
+//
+// We instantiate the game with the threshold function the consensus lower
+// bound uses — f(y) = 1 iff (#visible ones) >= k/2 — for which the optimal
+// adversary is closed-form (hide excess voters of the majority side), so
+// the Lemma's bound is directly measurable: the hides needed equal the
+// binomial deviation, which Talagrand/Chernoff says is ≤ c·√(k·ln(1/alpha))
+// with probability ≥ 1 - alpha.
+#pragma once
+
+#include <cstdint>
+
+#include "support/prng.h"
+
+namespace omx::coinflip {
+
+struct GameConfig {
+  std::uint64_t players = 0;  // k
+  double alpha = 0.01;        // failure probability target
+  /// Hide budget multiplier; the paper's Lemma 12 constant is 8 (ln-based).
+  double budget_factor = 8.0;
+  /// Target outcome the adversary biases toward (0 or 1).
+  std::uint8_t target = 0;
+};
+
+struct GameResult {
+  std::uint8_t outcome = 0;     // f after hiding
+  bool biased = false;          // outcome == target
+  std::uint64_t hides_needed = 0;  // minimal hides for this draw
+  std::uint64_t budget = 0;        // 8·√(k·ln(1/alpha))
+};
+
+/// Hide budget of Lemma 12 for (k, alpha).
+std::uint64_t hide_budget(std::uint64_t k, double alpha, double factor = 8.0);
+
+/// Play one instance: draw k fair coins, let the adversary hide up to the
+/// budget, evaluate f(visible) = [#ones >= k/2].
+GameResult play_once(const GameConfig& config, Xoshiro256& gen);
+
+struct GameStats {
+  std::uint64_t trials = 0;
+  std::uint64_t biased = 0;       // outcome forced to target
+  double success_rate = 0.0;
+  double mean_hides_needed = 0.0;
+  std::uint64_t max_hides_needed = 0;
+  std::uint64_t budget = 0;
+};
+
+/// Monte-Carlo estimate of the biasing success probability.
+GameStats play_many(const GameConfig& config, std::uint64_t trials,
+                    std::uint64_t seed);
+
+}  // namespace omx::coinflip

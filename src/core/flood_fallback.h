@@ -1,0 +1,123 @@
+// Deterministic flood-set fallback (substitute for Dolev–Strong'83).
+//
+// Used at the tail of Algorithms 1 and 4 when some operative process failed
+// to set `decided` (a whp-never event): participants flood (id, input)
+// pairs for t+1 rounds, forwarding only newly-learned pairs, then decide
+// the majority of the collected multiset and broadcast the decision.
+//
+// Why this substitutes the paper's authenticated protocol: under omission
+// faults processes never lie, so authentication is vacuous; the chain
+// argument (a value reaching a participant must traverse t+1 distinct
+// first-senders, hence at least one non-faulty one who flooded it to
+// everybody) gives all participants identical pair sets after t+1 rounds,
+// and the majority rule preserves validity because non-faulty processes
+// outnumber faulty ones by far (t < n/30).
+//
+// Round layout (local fallback rounds fr):
+//   fr = 0        participants send their own pair to everyone
+//   fr = 1..t     relay rounds (only new pairs are forwarded)
+//   fr = t+1      last receipts consumed; participants decide the majority
+//                 and broadcast DecisionMsg
+//   fr = t+2      everyone else adopts the broadcast decision
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/io.h"
+#include "support/check.h"
+
+namespace omx::core {
+
+class FloodFallback {
+ public:
+  FloodFallback(std::uint32_t members, std::uint32_t t)
+      : t_(t), state_(members) {
+    for (auto& s : state_) {
+      s.known.assign(members, -1);
+    }
+  }
+
+  std::uint32_t total_rounds() const { return t_ + 3; }
+
+  /// Must be called before the first step of member m (if m participates).
+  void set_participant(std::uint32_t m, std::uint8_t input) {
+    auto& s = state_[m];
+    s.participant = true;
+    s.known[m] = static_cast<std::int8_t>(input);
+    s.fresh.push_back(FloodPair{m, input});
+  }
+
+  void step(std::uint32_t m, std::uint32_t fr, std::span<const In> inbox,
+            const SendFn& send) {
+    OMX_REQUIRE(fr < total_rounds(), "fallback round out of schedule");
+    auto& s = state_[m];
+
+    // --- consume messages sent in round fr-1 ---
+    for (const In& in : inbox) {
+      if (const auto* fm = std::get_if<FloodMsg>(in.msg)) {
+        if (!s.participant) continue;  // non-participants do not relay
+        for (const FloodPair& p : fm->pairs) {
+          OMX_CHECK(p.id < s.known.size(), "flood pair id out of range");
+          if (s.known[p.id] < 0) {
+            s.known[p.id] = static_cast<std::int8_t>(p.value);
+            s.fresh.push_back(p);
+          }
+        }
+      } else if (const auto* dm = std::get_if<DecisionMsg>(in.msg)) {
+        if (!s.has_decision) {
+          s.has_decision = true;
+          s.decision = dm->value;
+        }
+      }
+    }
+
+    // --- produce this round's sends ---
+    const auto n = static_cast<std::uint32_t>(state_.size());
+    if (fr <= t_) {
+      if (s.participant && !s.fresh.empty()) {
+        FloodMsg msg{std::move(s.fresh)};
+        s.fresh = {};
+        for (std::uint32_t q = 0; q < n; ++q) {
+          if (q != m) send(q, msg);
+        }
+      }
+    } else if (fr == t_ + 1) {
+      if (s.participant && !s.has_decision) {
+        std::uint32_t ones = 0, zeros = 0;
+        for (std::int8_t v : s.known) {
+          if (v == 1) ++ones;
+          else if (v == 0) ++zeros;
+        }
+        s.has_decision = true;
+        s.decision = ones > zeros ? 1 : 0;
+        for (std::uint32_t q = 0; q < n; ++q) {
+          if (q != m) send(q, DecisionMsg{s.decision});
+        }
+      }
+    }
+    // fr == t_ + 2: consume-only round.
+  }
+
+  bool participant(std::uint32_t m) const { return state_[m].participant; }
+  bool has_decision(std::uint32_t m) const { return state_[m].has_decision; }
+  std::uint8_t decision(std::uint32_t m) const {
+    OMX_REQUIRE(state_[m].has_decision, "no fallback decision for member");
+    return state_[m].decision;
+  }
+
+ private:
+  struct MemberState {
+    bool participant = false;
+    bool has_decision = false;
+    std::uint8_t decision = 0;
+    std::vector<std::int8_t> known;  // -1 unknown / 0 / 1 per member id
+    std::vector<FloodPair> fresh;    // learned but not yet relayed
+  };
+
+  std::uint32_t t_;
+  std::vector<MemberState> state_;
+};
+
+}  // namespace omx::core

@@ -1,0 +1,25 @@
+// Local I/O plumbing shared by the core protocol state machines.
+//
+// Core protocols operate on *member-local* indices 0..m-1 (Algorithm 4 runs
+// Algorithm 1 on a subset of processes); the machine adapters translate
+// between local indices and global sim::ProcessId.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/messages.h"
+
+namespace omx::core {
+
+/// One delivered message, as seen by a core protocol: local sender index
+/// plus a borrowed payload.
+struct In {
+  std::uint32_t from;
+  const Msg* msg;
+};
+
+/// Send callback: (local destination index, payload).
+using SendFn = std::function<void(std::uint32_t, Msg)>;
+
+}  // namespace omx::core

@@ -1,0 +1,9 @@
+#include "core/messages.h"
+
+namespace omx::core {
+
+std::uint64_t bit_size(const Msg& m) {
+  return std::visit([](const auto& inner) { return inner.bit_size(); }, m);
+}
+
+}  // namespace omx::core

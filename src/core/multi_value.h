@@ -1,0 +1,99 @@
+// Multi-valued consensus on top of binary OptimalOmissionsConsensus.
+//
+// The paper's algorithms are binary; applications (the intro's distributed
+// ledgers and databases) want to agree on values. The classic bit-by-bit
+// reduction works cleanly in the omission model because faulty processes
+// never lie:
+//
+//   for k = L-1 .. 0 (most significant first):
+//     run Algorithm 1 (full mode, probability-1) on bit k of each
+//     process's current candidate value  -> decided bit d_k;
+//     one broadcast round: processes whose candidate agrees with the
+//     decided prefix so far announce their candidate;
+//     one adopt round: processes whose candidate mismatches d_k adopt any
+//     announced candidate that is consistent with the decided prefix.
+//
+// Invariants (see multi_value_test):
+//   * every candidate is always some process's ORIGINAL input (omission
+//     faults follow the protocol, so even faulty announcements are honest
+//     candidates) -> the decision is an input of some process;
+//   * all non-faulty candidates agree with the decided prefix entering
+//     every phase: the binary validity clause guarantees a consistent
+//     announcer exists whenever someone must adopt;
+//   * unanimous inputs short-circuit every phase deterministically (zero
+//     random bits), inheriting the paper's validity proof.
+//
+// Cost: L × (Algorithm-1 schedule + 2 rounds). Agreement/termination with
+// probability 1 via the inner protocol's own fallback.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "sim/adversary.h"
+#include "sim/machine.h"
+
+namespace omx::core {
+
+struct MultiValueConfig {
+  Params params;
+  std::uint32_t t = 0;
+  /// Value width in bits (values must be < 2^bits), 1..32.
+  std::uint32_t bits = 8;
+};
+
+struct MultiValueOutcome {
+  std::uint32_t value = 0;
+  bool decided = false;
+  std::int64_t decision_round = -1;
+};
+
+class MultiValueMachine final : public sim::Machine<Msg> {
+ public:
+  MultiValueMachine(MultiValueConfig config, std::vector<std::uint32_t> inputs);
+
+  void set_fault_view(const sim::FaultState* faults) { faults_ = faults; }
+  std::uint32_t scheduled_rounds() const { return total_rounds_; }
+  MultiValueOutcome outcome(sim::ProcessId p) const;
+
+  std::uint32_t num_processes() const override { return n_; }
+  void begin_round(std::uint32_t round) override;
+  void round(sim::ProcessId p, sim::RoundIo<Msg>& io) override;
+  bool finished() const override;
+
+ private:
+  struct PState {
+    std::uint32_t candidate = 0;
+    std::uint32_t decided_prefix = 0;  // decided bits so far (in place)
+    std::uint32_t prefix_mask = 0;     // which bit positions are decided
+    bool terminated = false;
+    std::int64_t decision_round = -1;
+  };
+
+  std::uint32_t bit_of(std::uint32_t value, std::uint32_t phase) const {
+    return (value >> (cfg_.bits - 1 - phase)) & 1u;
+  }
+  std::uint32_t mask_of(std::uint32_t phase) const {
+    return 1u << (cfg_.bits - 1 - phase);
+  }
+
+  MultiValueConfig cfg_;
+  std::uint32_t n_ = 0;
+  std::uint32_t inner_len_ = 0;   // full-mode Algorithm 1 schedule
+  std::uint32_t phase_len_ = 0;   // inner + announce + adopt
+  std::uint32_t total_rounds_ = 0;
+  std::uint32_t cur_round_ = 0;
+  std::uint32_t rounds_seen_ = 0;
+
+  std::vector<PState> st_;
+  std::unique_ptr<OptimalCore> inner_;
+  std::uint32_t inner_phase_ = UINT32_MAX;
+  std::vector<In> scratch_;
+  const sim::FaultState* faults_ = nullptr;
+};
+
+}  // namespace omx::core

@@ -1,0 +1,69 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace omx::core {
+
+namespace {
+std::uint32_t ceil_log2_at_least_1(std::uint32_t n) {
+  return std::max<std::uint32_t>(1, ceil_log2(n));
+}
+}  // namespace
+
+Params Params::paper() {
+  Params p;
+  p.delta_factor = 832.0;
+  p.spread_factor = 8.0;
+  p.epoch_factor = 1.0;
+  p.gossip_factor = 2.0;
+  p.min_epochs = 1;
+  return p;
+}
+
+Params Params::practical() { return Params{}; }
+
+std::uint32_t Params::delta(std::uint32_t n) const {
+  OMX_REQUIRE(n >= 2, "delta needs n >= 2");
+  const double raw = delta_factor * ceil_log2_at_least_1(n);
+  const auto d = static_cast<std::uint32_t>(std::ceil(raw));
+  return std::min(d, n - 1);
+}
+
+std::uint32_t Params::spread_rounds(std::uint32_t n) const {
+  const double raw = spread_factor * ceil_log2_at_least_1(std::max(2u, n));
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::ceil(raw)));
+}
+
+std::uint32_t Params::epochs(std::uint32_t n, std::uint32_t t) const {
+  const double sqrt_n = std::sqrt(static_cast<double>(std::max(1u, n)));
+  const auto fault_term = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(static_cast<double>(t) / sqrt_n)));
+  const auto log_term = static_cast<std::uint32_t>(std::max(
+      1.0, std::ceil(epoch_factor * ceil_log2_at_least_1(std::max(2u, n)))));
+  return std::max(min_epochs, fault_term * log_term);
+}
+
+std::uint32_t Params::gossip_rounds(std::uint32_t n) const {
+  const double raw = gossip_factor * ceil_log2_at_least_1(std::max(2u, n));
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::ceil(raw)));
+}
+
+std::uint32_t Params::operative_min_degree(std::uint32_t n) const {
+  return std::max<std::uint32_t>(1, delta(n) / 3);
+}
+
+std::uint32_t Params::max_t_optimal(std::uint32_t n) {
+  // Largest t with 30·t < n.
+  return n == 0 ? 0 : (n - 1) / 30;
+}
+
+std::uint32_t Params::max_t_param(std::uint32_t n) {
+  // Largest t with 60·t < n.
+  return n == 0 ? 0 : (n - 1) / 60;
+}
+
+}  // namespace omx::core

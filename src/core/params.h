@@ -1,0 +1,60 @@
+// Tunable constants of the paper's algorithms.
+//
+// The paper proves its guarantees with very conservative constants
+// (Δ = 832·log n, 8·log n spreading rounds, (t/√n)·log n epochs). Those are
+// fine for asymptotics but degenerate at laptop scale: at n = 1024,
+// Δ ≈ 8300 > n, i.e. the "sparse" graph is complete. Every constant is
+// therefore a field here, with two presets:
+//   * paper()      — the proof constants (graph capped at complete);
+//   * practical()  — calibrated constants that keep the graph genuinely
+//                    sparse and make the √n / n² scaling shapes measurable,
+//                    while preserving every structural property the test
+//                    suite checks (operative lower bound, count-divergence
+//                    bound, agreement with probability 1 via the fallback).
+#pragma once
+
+#include <cstdint>
+
+namespace omx::core {
+
+struct Params {
+  /// Expected graph degree Δ = delta_factor * ceil(log2 n), capped at n-1.
+  double delta_factor = 4.0;
+  /// GroupBitsSpreading rounds = spread_factor * ceil(log2 n) (paper: 8).
+  double spread_factor = 3.0;
+  /// Epochs = max(1, ceil(t/√n)) * ceil(epoch_factor * log2 n) (paper: 1·log n).
+  /// Slightly above 1: each coin epoch unifies with probability ~1/2, so a
+  /// few extra epochs push the no-decision (fallback) probability down at
+  /// the small n a laptop runs (the paper's whp statement is asymptotic).
+  double epoch_factor = 1.25;
+  /// Gossip rounds in Algorithm 4's decision flooding (paper: 2·log n).
+  double gossip_factor = 2.0;
+  /// Minimum number of epochs regardless of t (convergence needs a few).
+  std::uint32_t min_epochs = 2;
+  /// Extension (paper §6 "improve communication performance in case of
+  /// smaller number of failures"): a process that sets `decided` broadcasts
+  /// its value immediately instead of waiting for the full epoch schedule,
+  /// and every process decides on first receipt. Safe by Lemma 11 (any
+  /// decider's value equals the unified operative value): if any non-faulty
+  /// process decides early its broadcast reaches every non-faulty process;
+  /// if only faulty processes decided, their silence afterwards is
+  /// indistinguishable from omissions already charged to the adversary.
+  /// Off by default — the paper's Algorithm 1 runs the fixed schedule.
+  bool early_decide = false;
+
+  static Params paper();
+  static Params practical();
+
+  std::uint32_t delta(std::uint32_t n) const;
+  std::uint32_t spread_rounds(std::uint32_t n) const;
+  std::uint32_t epochs(std::uint32_t n, std::uint32_t t) const;
+  std::uint32_t gossip_rounds(std::uint32_t n) const;
+  /// The operative threshold of GroupBitsSpreading: Δ/3.
+  std::uint32_t operative_min_degree(std::uint32_t n) const;
+  /// Largest t Algorithm 1 tolerates: t < n/30.
+  static std::uint32_t max_t_optimal(std::uint32_t n);
+  /// Largest t Algorithm 4 tolerates: t < n/60.
+  static std::uint32_t max_t_param(std::uint32_t n);
+};
+
+}  // namespace omx::core

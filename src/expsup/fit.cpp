@@ -1,0 +1,40 @@
+#include "expsup/fit.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace omx::expsup {
+
+LogLogFit fit_loglog(std::span<const double> xs, std::span<const double> ys) {
+  OMX_REQUIRE(xs.size() == ys.size(), "series length mismatch");
+  OMX_REQUIRE(xs.size() >= 2, "need at least two points to fit");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    OMX_REQUIRE(xs[i] > 0 && ys[i] > 0, "log-log fit needs positive data");
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  LogLogFit fit;
+  const double denom = n * sxx - sx * sx;
+  OMX_REQUIRE(denom != 0.0, "degenerate x values");
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * std::log(xs[i]);
+    const double res = std::log(ys[i]) - pred;
+    ss_res += res * res;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace omx::expsup

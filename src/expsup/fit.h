@@ -1,0 +1,20 @@
+// Log-log least-squares fit: estimates the scaling exponent of a measured
+// series y ≈ c · x^slope. The bench harness uses it to report empirical
+// exponents next to the paper's claimed ones (0.5 for rounds, 2 for bits,
+// 1.5 for random bits, ...).
+#pragma once
+
+#include <span>
+
+namespace omx::expsup {
+
+struct LogLogFit {
+  double slope = 0.0;
+  double intercept = 0.0;  // log(c)
+  double r2 = 0.0;
+};
+
+/// Requires xs, ys positive and |xs| == |ys| >= 2.
+LogLogFit fit_loglog(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace omx::expsup

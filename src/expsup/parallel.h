@@ -1,0 +1,50 @@
+// Deterministic parallel sweeps for the bench harness.
+//
+// parallel_map runs `fn(items[i])` across a small thread pool and returns
+// results in input order — experiment runs are independent (each builds
+// its own ledger/machine/adversary from its own seed), so parallelism
+// changes wall time only, never a number in a table.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace omx::expsup {
+
+/// Number of workers used by parallel_map (hardware concurrency, capped).
+inline unsigned worker_count(std::size_t items) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cap = hw == 0 ? 2 : hw;
+  const auto want = static_cast<unsigned>(items);
+  return want < cap ? (want == 0 ? 1 : want) : cap;
+}
+
+/// Apply `fn` to every item; results in input order. Exceptions inside
+/// workers terminate (experiments must not throw — a throwing run is a
+/// bug the caller wants loudly).
+template <class In, class Fn>
+auto parallel_map(const std::vector<In>& items, Fn fn)
+    -> std::vector<decltype(fn(items[0]))> {
+  using Out = decltype(fn(items[0]));
+  std::vector<Out> results(items.size());
+  if (items.empty()) return results;
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= items.size()) return;
+      results[i] = fn(items[i]);
+    }
+  };
+  const unsigned workers = worker_count(items.size());
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace omx::expsup

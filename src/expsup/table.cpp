@@ -1,0 +1,80 @@
+#include "expsup/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace omx::expsup {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  OMX_REQUIRE(!columns_.empty(), "table needs columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  OMX_REQUIRE(cells.size() == columns_.size(),
+              "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  if (v == 0.0) return "0";
+  const double av = v < 0 ? -v : v;
+  if (av >= 1e7 || av < 1e-3) {
+    os << std::scientific << std::setprecision(precision - 1) << v;
+  } else if (av >= 100.0) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(precision > 2 ? 2 : precision) << v;
+  }
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  os << "\n== " << title_ << " ==\n";
+  auto line = [&](char fill) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, fill);
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  line('-');
+  emit(columns_);
+  line('=');
+  for (const auto& row : rows_) emit(row);
+  line('-');
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace omx::expsup

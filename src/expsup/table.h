@@ -1,0 +1,32 @@
+// Table rendering for the bench harness: prints paper-style rows to stdout
+// (aligned ASCII) and optionally dumps CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omx::expsup {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` significant-ish digits.
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace omx::expsup

@@ -1,0 +1,48 @@
+// Communication graph substrate (paper Theorem 4).
+//
+// The algorithms communicate along a sparse graph G with expected degree
+// Δ = Θ(log n) that is (n/10)-expanding, (n/10, Δ/15)-edge-sparse, and has
+// concentrated degrees. The paper has every process locally pick "the
+// lexicographically smallest graph guaranteed by Theorem 4" — a purely
+// combinatorial object derivable from n alone. Finding that graph is
+// exponential, so we substitute a *deterministic seeded* Erdős–Rényi graph:
+// the seed is a fixed hash of n, so all processes compute the identical
+// graph with no communication, and Theorem 4 says it has the needed
+// properties whp (our validators in graph/validate.h check them).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace omx::graph {
+
+using Vertex = std::uint32_t;
+
+class CommGraph {
+ public:
+  /// Build from an explicit adjacency structure (must be symmetric; checked).
+  explicit CommGraph(std::vector<std::vector<Vertex>> adjacency);
+
+  /// Erdős–Rényi G(n, p) with the given seed.
+  static CommGraph erdos_renyi(std::uint32_t n, double edge_prob,
+                               std::uint64_t seed);
+
+  /// The common-knowledge graph for an n-process system: ER with edge
+  /// probability Δ/(n-1), seeded deterministically from (n, Δ).
+  static CommGraph common_for(std::uint32_t n, std::uint32_t delta);
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(adj_.size()); }
+  std::uint64_t num_edges() const { return num_edges_; }
+  std::uint32_t degree(Vertex v) const {
+    return static_cast<std::uint32_t>(adj_[v].size());
+  }
+  std::span<const Vertex> neighbors(Vertex v) const { return adj_[v]; }
+  bool has_edge(Vertex u, Vertex v) const;
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;  // sorted neighbor lists
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace omx::graph

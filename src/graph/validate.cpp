@@ -1,0 +1,213 @@
+#include "graph/validate.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <numeric>
+
+#include "support/check.h"
+#include "support/prng.h"
+
+namespace omx::graph {
+
+namespace {
+
+std::vector<Vertex> sample_subset(std::uint32_t n, std::uint32_t size,
+                                  Xoshiro256& gen,
+                                  std::vector<Vertex>& scratch) {
+  scratch.resize(n);
+  std::iota(scratch.begin(), scratch.end(), 0u);
+  std::vector<Vertex> out;
+  out.reserve(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(gen.below(n - i));
+    std::swap(scratch[i], scratch[j]);
+    out.push_back(scratch[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DegreeStats degree_stats(const CommGraph& g) {
+  DegreeStats s;
+  if (g.n() == 0) return s;
+  s.min = s.max = g.degree(0);
+  std::uint64_t total = 0;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    const auto d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    total += d;
+  }
+  s.mean = static_cast<double>(total) / g.n();
+  return s;
+}
+
+bool degrees_within(const CommGraph& g, std::uint32_t lo, std::uint32_t hi) {
+  const auto s = degree_stats(g);
+  return s.min >= lo && s.max <= hi;
+}
+
+double sampled_expansion_failure(const CommGraph& g, std::uint32_t set_size,
+                                 std::uint32_t samples, std::uint64_t seed) {
+  OMX_REQUIRE(2 * set_size <= g.n(), "sets must fit disjointly");
+  Xoshiro256 gen(seed);
+  std::vector<Vertex> scratch;
+  std::uint32_t failures = 0;
+  std::vector<char> in_second(g.n());
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    auto both = sample_subset(g.n(), 2 * set_size, gen, scratch);
+    std::fill(in_second.begin(), in_second.end(), 0);
+    for (std::uint32_t i = set_size; i < 2 * set_size; ++i)
+      in_second[both[i]] = 1;
+    bool connected = false;
+    for (std::uint32_t i = 0; i < set_size && !connected; ++i) {
+      for (Vertex u : g.neighbors(both[i])) {
+        if (in_second[u]) {
+          connected = true;
+          break;
+        }
+      }
+    }
+    if (!connected) ++failures;
+  }
+  return samples ? static_cast<double>(failures) / samples : 0.0;
+}
+
+std::uint64_t internal_edges(const CommGraph& g, std::span<const Vertex> set) {
+  std::vector<char> in(g.n(), 0);
+  for (Vertex v : set) in[v] = 1;
+  std::uint64_t count = 0;
+  for (Vertex v : set) {
+    for (Vertex u : g.neighbors(v)) {
+      if (u > v && in[u]) ++count;
+    }
+  }
+  return count;
+}
+
+double sampled_max_internal_edge_ratio(const CommGraph& g,
+                                       std::uint32_t max_size,
+                                       std::uint32_t samples,
+                                       std::uint64_t seed) {
+  OMX_REQUIRE(max_size >= 2 && max_size <= g.n(), "bad subset size range");
+  Xoshiro256 gen(seed);
+  std::vector<Vertex> scratch;
+  double worst = 0.0;
+  for (std::uint32_t size = 2; size <= max_size; size = size * 2) {
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      auto set = sample_subset(g.n(), size, gen, scratch);
+      const auto e = internal_edges(g, set);
+      worst = std::max(worst, static_cast<double>(e) / size);
+    }
+  }
+  return worst;
+}
+
+bool exact_edge_sparse(const CommGraph& g, std::uint32_t max_size,
+                       double alpha) {
+  OMX_REQUIRE(g.n() <= 24, "exact check is exponential; use sampling");
+  const std::uint32_t n = g.n();
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const auto size = static_cast<std::uint32_t>(std::popcount(mask));
+    if (size < 2 || size > max_size) continue;
+    std::vector<Vertex> set;
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (mask & (1u << v)) set.push_back(v);
+    if (static_cast<double>(internal_edges(g, set)) > alpha * size)
+      return false;
+  }
+  return true;
+}
+
+std::vector<Vertex> peel_dense_subgraph(const CommGraph& g,
+                                        std::span<const Vertex> removed,
+                                        std::uint32_t min_degree) {
+  std::vector<char> alive(g.n(), 1);
+  for (Vertex v : removed) {
+    OMX_REQUIRE(v < g.n(), "removed vertex out of range");
+    alive[v] = 0;
+  }
+  std::vector<std::uint32_t> deg(g.n(), 0);
+  std::deque<Vertex> queue;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    if (!alive[v]) continue;
+    std::uint32_t d = 0;
+    for (Vertex u : g.neighbors(v)) d += alive[u];
+    deg[v] = d;
+    if (d < min_degree) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    if (!alive[v]) continue;
+    alive[v] = 0;
+    for (Vertex u : g.neighbors(v)) {
+      if (alive[u] && deg[u]-- == min_degree) queue.push_back(u);
+    }
+  }
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < g.n(); ++v)
+    if (alive[v]) out.push_back(v);
+  return out;
+}
+
+namespace {
+std::vector<char> alive_mask(const CommGraph& g,
+                             std::span<const Vertex> alive) {
+  if (alive.empty()) return std::vector<char>(g.n(), 1);
+  std::vector<char> mask(g.n(), 0);
+  for (Vertex v : alive) mask[v] = 1;
+  return mask;
+}
+}  // namespace
+
+std::vector<std::uint64_t> neighborhood_growth(const CommGraph& g, Vertex v,
+                                               std::uint32_t depth,
+                                               std::span<const Vertex> alive) {
+  auto mask = alive_mask(g, alive);
+  OMX_REQUIRE(v < g.n() && mask[v], "source vertex not alive");
+  std::vector<std::uint32_t> dist(g.n(), UINT32_MAX);
+  std::deque<Vertex> queue{v};
+  dist[v] = 0;
+  std::vector<std::uint64_t> sizes(depth + 1, 0);
+  sizes[0] = 1;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= depth) continue;
+    for (Vertex w : g.neighbors(u)) {
+      if (!mask[w] || dist[w] != UINT32_MAX) continue;
+      dist[w] = dist[u] + 1;
+      sizes[dist[w]] += 1;
+      queue.push_back(w);
+    }
+  }
+  // Convert shell counts to cumulative |N^k(v)|.
+  for (std::uint32_t k = 1; k <= depth; ++k) sizes[k] += sizes[k - 1];
+  return sizes;
+}
+
+std::uint32_t eccentricity(const CommGraph& g, Vertex v,
+                           std::span<const Vertex> alive) {
+  auto mask = alive_mask(g, alive);
+  OMX_REQUIRE(v < g.n() && mask[v], "source vertex not alive");
+  std::vector<std::uint32_t> dist(g.n(), UINT32_MAX);
+  std::deque<Vertex> queue{v};
+  dist[v] = 0;
+  std::uint32_t ecc = 0;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    ecc = std::max(ecc, dist[u]);
+    for (Vertex w : g.neighbors(u)) {
+      if (!mask[w] || dist[w] != UINT32_MAX) continue;
+      dist[w] = dist[u] + 1;
+      queue.push_back(w);
+    }
+  }
+  return ecc;
+}
+
+}  // namespace omx::graph

@@ -1,0 +1,74 @@
+// Validators for the Theorem 4 graph properties and the Lemma 3/4
+// machinery built on them.
+//
+// Exact verification of (ℓ,α)-edge-sparsity and ℓ-expansion quantifies over
+// all vertex subsets (exponential), so we provide:
+//   * exact checks for tiny graphs (n <= ~20) used in unit tests,
+//   * Monte-Carlo sampled checks for experiment-scale graphs,
+//   * the constructive Lemma 4 peeling, which is itself an algorithmic
+//     object the analysis uses (the surviving dense subgraph A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/comm_graph.h"
+
+namespace omx::graph {
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+};
+
+DegreeStats degree_stats(const CommGraph& g);
+
+/// True iff every degree lies in [lo, hi] (Theorem 4 (iii) with
+/// lo = 19Δ/20, hi = 21Δ/20 at paper constants).
+bool degrees_within(const CommGraph& g, std::uint32_t lo, std::uint32_t hi);
+
+/// Sampled ℓ-expansion check (Theorem 4 (i)): draw `samples` pairs of
+/// disjoint uniformly-random vertex sets of size `set_size` and return the
+/// fraction of pairs with NO connecting edge (0.0 = no violation observed).
+double sampled_expansion_failure(const CommGraph& g, std::uint32_t set_size,
+                                 std::uint32_t samples, std::uint64_t seed);
+
+/// Sampled (ℓ, α)-edge-sparsity check (Theorem 4 (ii)): draw `samples`
+/// uniformly-random subsets of each size in {2, ..., max_size} and return
+/// the largest observed ratio internal_edges(X) / |X|. The property holds
+/// with ratio <= alpha.
+double sampled_max_internal_edge_ratio(const CommGraph& g,
+                                       std::uint32_t max_size,
+                                       std::uint32_t samples,
+                                       std::uint64_t seed);
+
+/// Exact edge-sparsity check by exhaustive subset enumeration (n <= 24).
+bool exact_edge_sparse(const CommGraph& g, std::uint32_t max_size,
+                       double alpha);
+
+/// Exact internal edge count of a subset.
+std::uint64_t internal_edges(const CommGraph& g, std::span<const Vertex> set);
+
+/// Lemma 4 peeling: remove `removed`, then iteratively discard any vertex
+/// with fewer than `min_degree` surviving neighbors. Returns the surviving
+/// set A (sorted). Lemma 4: for |removed| <= n/15 and min_degree = Δ/3, the
+/// survivors number at least n - (4/3)|removed| — the operative backbone.
+std::vector<Vertex> peel_dense_subgraph(const CommGraph& g,
+                                        std::span<const Vertex> removed,
+                                        std::uint32_t min_degree);
+
+/// Lemma 3-style neighborhood growth: sizes of the distance-<=d
+/// neighborhoods of v inside the subgraph induced by `alive` (all vertices
+/// if empty). Index k of the result = |N^k(v)| (k = 0 is {v}).
+std::vector<std::uint64_t> neighborhood_growth(const CommGraph& g, Vertex v,
+                                               std::uint32_t depth,
+                                               std::span<const Vertex> alive);
+
+/// BFS eccentricity of v within the subgraph induced by `alive`
+/// (all vertices if empty). Unreachable vertices are ignored.
+std::uint32_t eccentricity(const CommGraph& g, Vertex v,
+                           std::span<const Vertex> alive);
+
+}  // namespace omx::graph

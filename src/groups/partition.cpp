@@ -1,0 +1,43 @@
+#include "groups/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace omx::groups {
+
+SqrtPartition::SqrtPartition(std::uint32_t n) : n_(n) {
+  OMX_REQUIRE(n >= 1, "partition needs at least one process");
+  const std::uint32_t root = isqrt(n);
+  width_ = (root * root == n) ? root : root + 1;  // ⌈√n⌉
+  num_groups_ = static_cast<std::uint32_t>(ceil_div(n, width_));
+  ids_.resize(n);
+  std::iota(ids_.begin(), ids_.end(), 0u);
+}
+
+std::uint32_t SqrtPartition::group_of(std::uint32_t p) const {
+  OMX_REQUIRE(p < n_, "process out of range");
+  return p / width_;
+}
+
+std::uint32_t SqrtPartition::group_size(std::uint32_t g) const {
+  OMX_REQUIRE(g < num_groups_, "group out of range");
+  const std::uint32_t lo = g * width_;
+  const std::uint32_t hi = std::min(n_, lo + width_);
+  return hi - lo;
+}
+
+std::span<const std::uint32_t> SqrtPartition::members(std::uint32_t g) const {
+  OMX_REQUIRE(g < num_groups_, "group out of range");
+  const std::uint32_t lo = g * width_;
+  return {ids_.data() + lo, group_size(g)};
+}
+
+std::uint32_t SqrtPartition::index_in_group(std::uint32_t p) const {
+  OMX_REQUIRE(p < n_, "process out of range");
+  return p % width_;
+}
+
+}  // namespace omx::groups

@@ -1,0 +1,50 @@
+#include "groups/tree.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace omx::groups {
+
+TreeDecomposition::TreeDecomposition(std::uint32_t group_size)
+    : w_(group_size) {
+  OMX_REQUIRE(group_size >= 1, "empty group");
+  layers_ = ceil_log2(group_size) + 1;  // 1 -> 1 layer, 2 -> 2, 5 -> 4, ...
+}
+
+std::uint32_t TreeDecomposition::bags_in_layer(std::uint32_t j) const {
+  OMX_REQUIRE(j >= 1 && j <= layers_, "layer out of range");
+  // Layer j bags cover 2^(j-1) members each.
+  const std::uint32_t span = 1u << (j - 1);
+  return static_cast<std::uint32_t>(ceil_div(w_, span));
+}
+
+TreeDecomposition::Bag TreeDecomposition::bag(std::uint32_t j,
+                                              std::uint32_t k) const {
+  OMX_REQUIRE(j >= 1 && j <= layers_, "layer out of range");
+  const std::uint32_t span = 1u << (j - 1);
+  const std::uint64_t lo64 = static_cast<std::uint64_t>(k) * span;
+  const auto lo = static_cast<std::uint32_t>(std::min<std::uint64_t>(lo64, w_));
+  const auto hi =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(lo64 + span, w_));
+  return Bag{lo, hi};
+}
+
+std::uint32_t TreeDecomposition::bag_index_of(std::uint32_t j,
+                                              std::uint32_t m) const {
+  OMX_REQUIRE(j >= 1 && j <= layers_, "layer out of range");
+  OMX_REQUIRE(m < w_, "member out of range");
+  return m >> (j - 1);
+}
+
+std::uint32_t TreeDecomposition::bag_uid(std::uint32_t j,
+                                         std::uint32_t k) const {
+  OMX_REQUIRE(j >= 1 && j <= layers_, "layer out of range");
+  std::uint32_t offset = 0;
+  for (std::uint32_t layer = 1; layer < j; ++layer)
+    offset += bags_in_layer(layer);
+  return offset + k;
+}
+
+}  // namespace omx::groups

@@ -1,0 +1,45 @@
+// Binary-tree bag decomposition of one group (paper Appendix B.1).
+//
+// For a group of size w, layer 1 holds w singleton bags L(1,k) = {k};
+// layer j's bag L(j,k) is the union of its children L(j-1, 2k) and
+// L(j-1, 2k+1) (0-indexed here; the paper is 1-indexed). The top layer
+// (index num_layers()) has a single bag equal to the whole group. With
+// contiguous indexing, bag(j,k) is the member-index range
+// [k·2^(j-1), min((k+1)·2^(j-1), w)).
+#pragma once
+
+#include <cstdint>
+
+namespace omx::groups {
+
+class TreeDecomposition {
+ public:
+  explicit TreeDecomposition(std::uint32_t group_size);
+
+  struct Bag {
+    std::uint32_t lo;  // inclusive member index
+    std::uint32_t hi;  // exclusive member index
+    std::uint32_t size() const { return hi - lo; }
+    bool empty() const { return lo >= hi; }
+    bool contains(std::uint32_t m) const { return m >= lo && m < hi; }
+  };
+
+  std::uint32_t group_size() const { return w_; }
+  /// Layers are numbered 1 (singletons) .. num_layers() (whole group).
+  std::uint32_t num_layers() const { return layers_; }
+  /// Number of (possibly empty) bag slots in layer j.
+  std::uint32_t bags_in_layer(std::uint32_t j) const;
+  /// Bag k (0-based) of layer j; may be empty near the right edge.
+  Bag bag(std::uint32_t j, std::uint32_t k) const;
+  /// Index of the bag of layer j containing member m.
+  std::uint32_t bag_index_of(std::uint32_t j, std::uint32_t m) const;
+  /// Global bag id unique across layers (for message tagging):
+  /// layer-1-relative numbering offset by the slots of lower layers.
+  std::uint32_t bag_uid(std::uint32_t j, std::uint32_t k) const;
+
+ private:
+  std::uint32_t w_;
+  std::uint32_t layers_;
+};
+
+}  // namespace omx::groups

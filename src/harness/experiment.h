@@ -1,0 +1,89 @@
+// End-to-end experiment harness: one call = one execution of a consensus
+// algorithm against an adversary, with full metrics and a consensus-spec
+// verdict (agreement / validity / termination over the *non-faulty* set,
+// per §2). Shared by the test suite, the bench binaries and the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "rng/ledger.h"
+#include "sim/metrics.h"
+
+namespace omx::harness {
+
+enum class Algo {
+  Optimal,   // Algorithm 1 (Theorem 1)
+  Param,     // Algorithm 4 (Theorem 3), x super-processes
+  FloodSet,  // deterministic baseline / fallback as a standalone protocol
+  BenOr,     // crash-model randomized baseline ([10]-style)
+};
+
+enum class Attack {
+  None,
+  StaticCrash,     // scripted staggered crashes of t processes
+  RandomOmission,  // random faulty set, i.i.d. link drops (general omission)
+  SendOmission,    // ablation: only the faulty senders' messages drop
+  SplitBrain,      // faulty processes heard by only half the network
+  GroupKiller,     // silence whole √n-groups
+  CoinHiding,      // Theorem-2 full-information vote-hiding strategy
+  Chaos,           // seeded random walk over all legal adversarial actions
+};
+
+enum class InputPattern {
+  AllZero,
+  AllOne,
+  Half,      // first half 1, second half 0
+  Random,    // i.i.d. fair bits (seeded)
+  OneDissent,  // all 1 except process 0
+  Alternating,  // 0101... — every contiguous group is split 50/50
+};
+
+const char* to_string(Algo a);
+const char* to_string(Attack a);
+const char* to_string(InputPattern p);
+
+struct ExperimentConfig {
+  Algo algo = Algo::Optimal;
+  Attack attack = Attack::None;
+  std::uint32_t n = 64;
+  std::uint32_t t = 0;
+  std::uint32_t x = 1;  // Algorithm 4 only: number of super-processes
+  core::Params params = core::Params::practical();
+  InputPattern inputs = InputPattern::Random;
+  /// When non-empty, overrides `inputs` (must have exactly n bits).
+  std::vector<std::uint8_t> explicit_inputs;
+  std::uint64_t seed = 1;
+  /// Optional cap on total random bits (Theorem 2/3 experiments);
+  /// rng::kUnlimited disables.
+  std::uint64_t random_bit_budget = rng::kUnlimited;
+  /// i.i.d. drop probability for RandomOmission.
+  double drop_prob = 0.8;
+  /// Engine safety cap; 0 = machine schedule + slack.
+  std::uint64_t max_rounds = 0;
+};
+
+struct ExperimentResult {
+  sim::Metrics metrics;
+  /// Rounds until the last non-faulty process decided (the paper's "time").
+  std::uint64_t time_rounds = 0;
+  bool agreement = false;
+  bool validity = false;
+  bool all_nonfaulty_decided = false;
+  bool hit_round_cap = false;
+  std::uint8_t decision = 0;  // decision of non-faulty processes (if any)
+  std::uint32_t corrupted = 0;
+  std::uint32_t operative_end = 0;  // operative count at the end (0 if n/a)
+  /// True iff agreement && validity && all_nonfaulty_decided.
+  bool ok() const { return agreement && validity && all_nonfaulty_decided; }
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Build the input vector for a pattern (exposed for tests).
+std::vector<std::uint8_t> make_inputs(InputPattern pattern, std::uint32_t n,
+                                      std::uint64_t seed);
+
+}  // namespace omx::harness

@@ -1,0 +1,46 @@
+#include "rng/ledger.h"
+
+#include "support/check.h"
+
+namespace omx::rng {
+
+Ledger::Ledger(std::uint32_t num_processes, std::uint64_t master_seed) {
+  OMX_REQUIRE(num_processes > 0, "ledger needs at least one process");
+  sources_.reserve(num_processes);
+  for (std::uint32_t p = 0; p < num_processes; ++p) {
+    // Independent stream per process: hash (master_seed, p).
+    sources_.push_back(Source(this, p, mix64(master_seed, p)));
+  }
+}
+
+Source& Ledger::source(std::uint32_t process) {
+  OMX_REQUIRE(process < sources_.size(), "process id out of range");
+  return sources_[process];
+}
+
+void Ledger::bill(std::uint64_t drawn_bits) {
+  if (!admits(drawn_bits)) {
+    throw BudgetExhausted("randomness budget exhausted (calls=" +
+                          std::to_string(calls_) +
+                          ", bits=" + std::to_string(bits_) + ")");
+  }
+  calls_ += 1;
+  bits_ += drawn_bits;
+}
+
+bool Source::draw_bit() {
+  ledger_->bill(1);
+  return (gen_() >> 63) != 0;
+}
+
+std::uint64_t Source::draw_bits(unsigned k) {
+  OMX_REQUIRE(k >= 1 && k <= 64, "draw_bits supports 1..64 bits per call");
+  ledger_->bill(k);
+  return gen_() >> (64 - k);
+}
+
+bool Source::can_draw(std::uint64_t bits) const {
+  return ledger_->admits(bits);
+}
+
+}  // namespace omx::rng

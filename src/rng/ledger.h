@@ -1,0 +1,115 @@
+// Metered randomness.
+//
+// The paper's third complexity measure is *randomness*: the total number of
+// random bits (and, for the lower bound, the total number of accesses to a
+// random source) used by all processes. To make that a first-class
+// measurement, protocol code has no access to any RNG except its per-process
+// rng::Source, which bills every access to a shared rng::Ledger.
+//
+// The Ledger also supports optional budgets (in calls or bits). Budgets are
+// how the Theorem 2 / Theorem 3 experiments model randomness-starved
+// algorithms: a protocol variant checks `can_draw()` and falls back to a
+// deterministic transition when the budget is exhausted, exactly like an
+// algorithm built on a small PRG seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/prng.h"
+
+namespace omx::rng {
+
+inline constexpr std::uint64_t kUnlimited =
+    std::numeric_limits<std::uint64_t>::max();
+
+class Ledger;
+
+/// Per-process handle to the random source. One access == one "call" in the
+/// paper's accounting; a call may request any finite number of bits.
+class Source {
+ public:
+  /// Draw a single uniform bit (1 call, 1 bit).
+  bool draw_bit();
+
+  /// Draw `k` uniform bits packed little-endian into a word (1 call, k bits).
+  std::uint64_t draw_bits(unsigned k);
+
+  /// True iff the ledger's budget admits one more call of `bits` bits.
+  bool can_draw(std::uint64_t bits = 1) const;
+
+  std::uint32_t process() const { return process_; }
+
+ private:
+  friend class Ledger;
+  Source(Ledger* ledger, std::uint32_t process, std::uint64_t seed)
+      : ledger_(ledger), process_(process), gen_(seed) {}
+
+  Ledger* ledger_;
+  std::uint32_t process_;
+  Xoshiro256 gen_;
+};
+
+/// Thrown when a draw would exceed the configured randomness budget.
+/// Protocols that support graceful degradation call can_draw() instead of
+/// relying on this.
+class BudgetExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Global randomness accountant for one execution: owns the per-process
+/// sources (independent deterministic streams derived from a master seed)
+/// and counts every access.
+class Ledger {
+ public:
+  Ledger(std::uint32_t num_processes, std::uint64_t master_seed);
+
+  // Sources hold a back-pointer to their ledger; pin the object.
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  Source& source(std::uint32_t process);
+
+  /// Total number of accesses to the random source (paper: "randomness of an
+  /// execution", lower-bound variant).
+  std::uint64_t calls() const { return calls_; }
+  /// Total number of random bits drawn (paper: randomness complexity).
+  std::uint64_t bits() const { return bits_; }
+  /// Calls made by processes during the current round window (see
+  /// begin_round_window); used by the coin-hiding adversary to size r_i.
+  std::uint64_t calls_this_window() const { return calls_ - window_start_calls_; }
+  /// Reset the per-round window counter.
+  void begin_round_window() { window_start_calls_ = calls_; }
+
+  /// Cap the total number of bits drawable in this execution.
+  void set_bit_budget(std::uint64_t max_bits) { bit_budget_ = max_bits; }
+  /// Cap the total number of calls.
+  void set_call_budget(std::uint64_t max_calls) { call_budget_ = max_calls; }
+  std::uint64_t bit_budget() const { return bit_budget_; }
+  std::uint64_t call_budget() const { return call_budget_; }
+
+  std::uint32_t num_processes() const {
+    return static_cast<std::uint32_t>(sources_.size());
+  }
+
+ private:
+  friend class Source;
+  bool admits(std::uint64_t extra_bits) const {
+    return calls_ + 1 <= call_budget_ &&
+           (bit_budget_ == kUnlimited || bits_ + extra_bits <= bit_budget_);
+  }
+  void bill(std::uint64_t drawn_bits);
+
+  std::vector<Source> sources_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t bits_ = 0;
+  std::uint64_t window_start_calls_ = 0;
+  std::uint64_t bit_budget_ = kUnlimited;
+  std::uint64_t call_budget_ = kUnlimited;
+};
+
+}  // namespace omx::rng

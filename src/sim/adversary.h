@@ -1,0 +1,118 @@
+// Adaptive full-information adversary interface.
+//
+// Ordering within a round (paper §2): local computation phase (coins drawn)
+// -> adversary observes *everything* (all process states via probes it was
+// wired with, all coins drawn so far, every in-flight message) and acts ->
+// communication phase delivers the surviving messages.
+//
+// The engine enforces the omission fault model: an adversary may
+//   * corrupt a process at any time, as long as the total stays <= t;
+//   * omit (drop) a message only if its sender or receiver is corrupted;
+//   * never drop a self-delivery (a process trivially keeps its own state).
+// Illegal actions throw AdversaryViolation — experiments cannot silently
+// exceed the model's power.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+#include "sim/message.h"
+
+namespace omx::sim {
+
+/// Corruption bookkeeping shared between runner and adversary context.
+class FaultState {
+ public:
+  FaultState(std::uint32_t n, std::uint32_t budget)
+      : corrupted_(n, false), budget_(budget) {}
+
+  bool is_corrupted(ProcessId p) const { return corrupted_[p]; }
+  std::uint32_t num_corrupted() const { return num_corrupted_; }
+  std::uint32_t budget() const { return budget_; }
+  std::uint32_t remaining_budget() const { return budget_ - num_corrupted_; }
+
+  /// Corrupt p; returns false (no-op) if the budget is exhausted.
+  /// Corrupting an already-corrupted process succeeds and costs nothing.
+  bool corrupt(ProcessId p) {
+    OMX_REQUIRE(p < corrupted_.size(), "corrupt: process out of range");
+    if (corrupted_[p]) return true;
+    if (num_corrupted_ >= budget_) return false;
+    corrupted_[p] = true;
+    ++num_corrupted_;
+    return true;
+  }
+
+ private:
+  std::vector<bool> corrupted_;
+  std::uint32_t budget_;
+  std::uint32_t num_corrupted_ = 0;
+};
+
+/// The adversary's per-round window onto the execution.
+template <class P>
+class AdversaryContext {
+ public:
+  AdversaryContext(std::uint32_t round, std::vector<Message<P>>* messages,
+                   std::vector<bool>* drop_flags, FaultState* faults)
+      : round_(round),
+        messages_(messages),
+        drop_flags_(drop_flags),
+        faults_(faults) {}
+
+  std::uint32_t round() const { return round_; }
+
+  /// All messages produced in this round's computation phase (full
+  /// information: contents are visible before delivery).
+  const std::vector<Message<P>>& messages() const { return *messages_; }
+
+  bool is_corrupted(ProcessId p) const { return faults_->is_corrupted(p); }
+  std::uint32_t num_corrupted() const { return faults_->num_corrupted(); }
+  std::uint32_t remaining_budget() const { return faults_->remaining_budget(); }
+
+  /// Adaptively corrupt a process (online, within budget).
+  bool corrupt(ProcessId p) { return faults_->corrupt(p); }
+
+  /// Omit message #idx. Legal only if one endpoint is corrupted and it is
+  /// not a self-delivery.
+  void drop(std::size_t idx) {
+    OMX_REQUIRE(idx < messages_->size(), "drop: message index out of range");
+    const Message<P>& m = (*messages_)[idx];
+    if (m.from == m.to) {
+      throw AdversaryViolation("cannot omit a self-delivery");
+    }
+    if (!faults_->is_corrupted(m.from) && !faults_->is_corrupted(m.to)) {
+      throw AdversaryViolation(
+          "cannot omit a message between two non-corrupted processes");
+    }
+    (*drop_flags_)[idx] = true;
+  }
+
+  bool dropped(std::size_t idx) const { return (*drop_flags_)[idx]; }
+
+  /// Convenience: drop every message from/to p (p must be corrupted).
+  void silence(ProcessId p) {
+    for (std::size_t i = 0; i < messages_->size(); ++i) {
+      const auto& m = (*messages_)[i];
+      if ((m.from == p || m.to == p) && m.from != m.to && !(*drop_flags_)[i]) {
+        drop(i);
+      }
+    }
+  }
+
+ private:
+  std::uint32_t round_;
+  std::vector<Message<P>>* messages_;
+  std::vector<bool>* drop_flags_;
+  FaultState* faults_;
+};
+
+/// Base adversary: observes each round and may intervene. Default: benign.
+template <class P>
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  virtual void intervene(AdversaryContext<P>& ctx) { (void)ctx; }
+};
+
+}  // namespace omx::sim

@@ -1,0 +1,75 @@
+// Protocol machine interface.
+//
+// Protocols are written "orchestrator-style": one object owns the local
+// state of all n processes and the engine calls round(p, io) for each
+// process in every round. This matches the lock-step synchronous model and
+// keeps protocol code close to the paper's pseudocode. The autonomy
+// requirement of the model — process p's transition may depend only on p's
+// own state, p's inbox, and p's random stream — is a discipline the protocol
+// implementations follow (and the test suite spot-checks via determinism and
+// permutation tests), not something C++ can enforce cheaply.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rng/ledger.h"
+#include "sim/message.h"
+
+namespace omx::sim {
+
+/// Per-process, per-round I/O handed to Machine::round().
+template <class P>
+class RoundIo {
+ public:
+  RoundIo(std::uint32_t round, ProcessId self,
+          std::span<const Message<P>> inbox,
+          std::vector<Message<P>>* outbox, rng::Source* rng)
+      : round_(round), self_(self), inbox_(inbox), outbox_(outbox), rng_(rng) {}
+
+  std::uint32_t round() const { return round_; }
+  ProcessId self() const { return self_; }
+
+  /// Messages delivered to this process at the end of the previous round.
+  std::span<const Message<P>> inbox() const { return inbox_; }
+
+  /// Queue a message for the communication phase of this round.
+  void send(ProcessId to, P payload) {
+    outbox_->push_back(Message<P>{self_, to, std::move(payload)});
+  }
+
+  /// This process's metered random source.
+  rng::Source& rng() { return *rng_; }
+
+ private:
+  std::uint32_t round_;
+  ProcessId self_;
+  std::span<const Message<P>> inbox_;
+  std::vector<Message<P>>* outbox_;
+  rng::Source* rng_;
+};
+
+/// A synchronous protocol over payload P, covering processes 0..n-1.
+template <class P>
+class Machine {
+ public:
+  virtual ~Machine() = default;
+
+  /// Number of processes the machine covers.
+  virtual std::uint32_t num_processes() const = 0;
+
+  /// Called once per round, before any process steps, with the round index.
+  virtual void begin_round(std::uint32_t round) { (void)round; }
+
+  /// Local computation + send phase for process p.
+  virtual void round(ProcessId p, RoundIo<P>& io) = 0;
+
+  /// True when every process has terminated (the engine then stops).
+  /// Implementations typically report all *non-idle* members decided; the
+  /// runner additionally stops at the machine's schedule end or max_rounds.
+  virtual bool finished() const = 0;
+};
+
+}  // namespace omx::sim

@@ -1,0 +1,27 @@
+// Execution metrics: the paper's three complexity measures plus message
+// count (for the Ω(t²)-messages lower bound of Abraham et al. [1]).
+#pragma once
+
+#include <cstdint>
+
+namespace omx::sim {
+
+struct Metrics {
+  /// Rounds elapsed until the last process terminated (paper: time).
+  std::uint64_t rounds = 0;
+  /// Point-to-point messages sent (dropped messages count: they were sent).
+  std::uint64_t messages = 0;
+  /// Total bits across all sent messages (paper: communication bits).
+  std::uint64_t comm_bits = 0;
+  /// Accesses to the random source across all processes (paper: randomness,
+  /// lower-bound variant R).
+  std::uint64_t random_calls = 0;
+  /// Random bits drawn across all processes (paper: randomness complexity).
+  std::uint64_t random_bits = 0;
+  /// Processes the adversary corrupted by the end of the run.
+  std::uint32_t corrupted = 0;
+  /// Messages the adversary omitted.
+  std::uint64_t omitted = 0;
+};
+
+}  // namespace omx::sim

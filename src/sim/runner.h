@@ -1,0 +1,126 @@
+// The synchronous execution engine.
+//
+// Drives a Machine<P> against an Adversary<P> under a rng::Ledger, producing
+// Metrics. One iteration of the loop is one round of the model:
+//
+//   1. local computation phase: every process (in id order) consumes its
+//      inbox and queues sends; random draws are billed to the ledger;
+//   2. the adversary — full information — inspects all states (via whatever
+//      probes it was wired with), the drawn coins, and the in-flight
+//      messages, corrupts processes (within budget t) and omits messages on
+//      corrupted processes' links;
+//   3. communication phase: surviving messages are delivered; they appear in
+//      receivers' inboxes next round.
+//
+// The run ends when the machine reports finished() or max_rounds elapses
+// (the latter flagged in the result so tests can fail on non-termination).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rng/ledger.h"
+#include "sim/adversary.h"
+#include "sim/machine.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "support/check.h"
+
+namespace omx::sim {
+
+struct RunResult {
+  Metrics metrics;
+  bool hit_round_cap = false;
+};
+
+template <class P>
+class Runner {
+ public:
+  struct Options {
+    std::uint64_t max_rounds = 1'000'000;
+  };
+
+  Runner(std::uint32_t n, std::uint32_t fault_budget, rng::Ledger* ledger,
+         Adversary<P>* adversary, Options options = {})
+      : n_(n),
+        ledger_(ledger),
+        adversary_(adversary),
+        options_(options),
+        faults_(n, fault_budget) {
+    OMX_REQUIRE(ledger != nullptr && adversary != nullptr,
+                "runner needs a ledger and an adversary");
+    OMX_REQUIRE(ledger->num_processes() >= n,
+                "ledger must cover all processes");
+  }
+
+  const FaultState& faults() const { return faults_; }
+
+  RunResult run(Machine<P>& machine) {
+    OMX_REQUIRE(machine.num_processes() == n_,
+                "machine/process-count mismatch");
+    const std::uint64_t base_calls = ledger_->calls();
+    const std::uint64_t base_bits = ledger_->bits();
+
+    std::vector<std::vector<Message<P>>> inboxes(n_);
+    std::vector<std::vector<Message<P>>> next(n_);
+    std::vector<Message<P>> wire;
+    std::vector<bool> drops;
+    RunResult result;
+    Metrics& m = result.metrics;
+
+    std::uint32_t round = 0;
+    while (!machine.finished()) {
+      if (round >= options_.max_rounds) {
+        result.hit_round_cap = true;
+        break;
+      }
+      ledger_->begin_round_window();
+      machine.begin_round(round);
+
+      // Phase 1: local computation (+ queuing of sends).
+      wire.clear();
+      for (ProcessId p = 0; p < n_; ++p) {
+        RoundIo<P> io(round, p, std::span<const Message<P>>(inboxes[p]),
+                      &wire, &ledger_->source(p));
+        machine.round(p, io);
+      }
+
+      // Phase 2: adversary intervention (full information).
+      drops.assign(wire.size(), false);
+      AdversaryContext<P> ctx(round, &wire, &drops, &faults_);
+      adversary_->intervene(ctx);
+
+      // Phase 3: delivery + accounting. Sent-but-omitted messages still
+      // count toward communication (the sender spent the bits).
+      for (auto& nb : next) nb.clear();
+      for (std::size_t i = 0; i < wire.size(); ++i) {
+        OMX_CHECK(wire[i].to < n_, "message addressed outside the system");
+        m.messages += 1;
+        m.comm_bits += bit_size(wire[i].payload);
+        if (drops[i]) {
+          m.omitted += 1;
+          continue;
+        }
+        next[wire[i].to].push_back(std::move(wire[i]));
+      }
+      inboxes.swap(next);
+      ++round;
+      m.rounds = round;
+    }
+
+    m.random_calls = ledger_->calls() - base_calls;
+    m.random_bits = ledger_->bits() - base_bits;
+    m.corrupted = faults_.num_corrupted();
+    return result;
+  }
+
+ private:
+  std::uint32_t n_;
+  rng::Ledger* ledger_;
+  Adversary<P>* adversary_;
+  Options options_;
+  FaultState faults_;
+};
+
+}  // namespace omx::sim

@@ -1,0 +1,50 @@
+// Bit-size accounting helpers.
+//
+// The paper measures communication in *bits*, with messages carrying small
+// counters (O(log n) bits each). We account each field at its minimal
+// self-delimiting width: bit_width(value | 1) bits for the value. This keeps
+// the accounting within a factor ~2 of any concrete variable-length encoding
+// and, crucially, preserves the asymptotic shapes Table 1 reports.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace omx {
+
+/// Number of bits in a minimal encoding of `v` (>= 1 even for v == 0, since
+/// an empty message still occupies one slot on the wire).
+constexpr std::uint64_t field_bits(std::uint64_t v) {
+  return static_cast<std::uint64_t>(std::bit_width(v | 1u));
+}
+
+/// ceil(log2(x)) for x >= 1: the number of bits needed to index x values.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return static_cast<std::uint32_t>(std::bit_width(x - 1));
+}
+
+/// Integer square root (floor).
+constexpr std::uint32_t isqrt(std::uint64_t x) {
+  std::uint32_t r = static_cast<std::uint32_t>(0);
+  std::uint64_t lo = 0, hi = 1;
+  while (hi * hi <= x) hi *= 2;
+  lo = hi / 2;
+  while (lo <= hi) {
+    std::uint64_t mid = lo + (hi - lo) / 2;
+    if (mid * mid <= x) {
+      r = static_cast<std::uint32_t>(mid);
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return r;
+}
+
+/// ceil(a / b) for integers, b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace omx

@@ -1,0 +1,24 @@
+#include "support/prng.h"
+
+#include "support/check.h"
+
+namespace omx {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  OMX_REQUIRE(bound > 0, "below() needs a positive bound");
+  // Lemire's multiply-shift method with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace omx

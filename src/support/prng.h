@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Two layers:
+//  * SplitMix64 — stateless stream derivation; used to key independent
+//    per-process generators from a master seed (and to build deterministic
+//    "common knowledge" objects such as the communication graph from n).
+//  * Xoshiro256** — the workhorse generator, seeded via SplitMix64.
+//
+// Everything in the repository that consumes randomness does so through one
+// of these, seeded explicitly: the same master seed reproduces an execution
+// bit-for-bit (including adversary choices and metrics).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace omx {
+
+/// SplitMix64 step: maps a state to the next state's output. Useful both as
+/// a tiny PRNG and as a 64-bit mixing/hash function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot mix of two 64-bit values into one (stream derivation).
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (0x9E3779B97f4A7C15ULL * (b + 1));
+  return splitmix64(s);
+}
+
+/// Xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random> if needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace omx

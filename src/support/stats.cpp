@@ -1,0 +1,42 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace omx {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> sorted, double q) {
+  OMX_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  OMX_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile_of(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return quantile(std::span<const double>(values), q);
+}
+
+}  // namespace omx

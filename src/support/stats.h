@@ -1,0 +1,40 @@
+// Small statistics toolkit used by tests and the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace omx {
+
+/// Streaming accumulator: mean / variance (Welford), min / max, count.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for n < 2).
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order statistics).
+double quantile(std::span<const double> sorted_values, double q);
+
+/// Convenience: sort a copy and take the quantile.
+double quantile_of(std::vector<double> values, double q);
+
+}  // namespace omx

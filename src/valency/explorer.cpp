@@ -1,0 +1,184 @@
+#include "valency/explorer.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace omx::valency {
+
+namespace {
+
+constexpr std::uint32_t kMaxN = 5;
+
+struct Game {
+  std::uint32_t n;
+  std::uint32_t t;
+  std::uint32_t rounds;
+  std::uint32_t all_mask;
+  std::vector<std::uint8_t> inputs;
+
+  // Memo: state key -> result bits (bit0 can0, bit1 can1, bit2 violation).
+  std::unordered_map<std::uint64_t, std::uint8_t> memo;
+  std::uint64_t leaves = 0;
+
+  struct State {
+    std::uint32_t round = 0;
+    std::uint32_t crashed = 0;              // bitmask
+    std::uint32_t known[kMaxN] = {0};       // per process: ids known
+  };
+
+  std::uint64_t key(const State& s) const {
+    std::uint64_t k = s.round;
+    k = k * (all_mask + 2) + s.crashed;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      k = k * (all_mask + 2) + s.known[p];
+    }
+    return k;
+  }
+
+  std::uint8_t decide(std::uint32_t known_mask) const {
+    std::uint32_t ones = 0, zeros = 0;
+    for (std::uint32_t id = 0; id < n; ++id) {
+      if (known_mask & (1u << id)) {
+        if (inputs[id]) ++ones;
+        else ++zeros;
+      }
+    }
+    return ones > zeros ? 1 : 0;
+  }
+
+  std::uint8_t leaf(const State& s) {
+    ++leaves;
+    std::int8_t decision = -1;
+    std::uint8_t bits = 0;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (s.crashed & (1u << p)) continue;  // crashed: no obligation
+      const std::uint8_t d = decide(s.known[p]);
+      if (decision < 0) decision = static_cast<std::int8_t>(d);
+      else if (decision != d) bits |= 4;  // agreement violation
+    }
+    OMX_CHECK(decision >= 0, "no survivor (t < n should guarantee one)");
+    bits |= decision == 0 ? 1 : 2;
+    return bits;
+  }
+
+  /// Apply one round: `crash_now` processes stop after this round; process
+  /// p in crash_now delivers only to recipients in masks[p].
+  State step(const State& s, std::uint32_t crash_now,
+             const std::uint32_t* masks) const {
+    State next = s;
+    next.round = s.round + 1;
+    next.crashed = s.crashed | crash_now;
+    for (std::uint32_t sender = 0; sender < n; ++sender) {
+      if (s.crashed & (1u << sender)) continue;  // already silent
+      const bool crashing = (crash_now & (1u << sender)) != 0;
+      const std::uint32_t recipients =
+          crashing ? masks[sender] : (all_mask & ~(1u << sender));
+      for (std::uint32_t q = 0; q < n; ++q) {
+        if (recipients & (1u << q)) next.known[q] |= s.known[sender];
+      }
+    }
+    return next;
+  }
+
+  std::uint8_t explore_state(const State& s) {
+    if (s.round == rounds) return leaf(s);
+    const std::uint64_t k = key(s);
+    if (const auto it = memo.find(k); it != memo.end()) return it->second;
+
+    std::uint8_t bits = 0;
+    const std::uint32_t budget = t - std::popcount(s.crashed);
+    const std::uint32_t alive = all_mask & ~s.crashed;
+
+    // Enumerate crash subsets of `alive` with |subset| <= budget, and for
+    // each crashing process every recipient mask.
+    for (std::uint32_t subset = 0;; subset = (subset - alive) & alive) {
+      // (subset iterates over all submasks of `alive`, including 0.)
+      if (static_cast<std::uint32_t>(std::popcount(subset)) <= budget) {
+        bits |= explore_masks(s, subset);
+      }
+      if (subset == alive) break;
+    }
+    memo.emplace(k, bits);
+    return bits;
+  }
+
+  /// Recursively choose a delivery mask for every process in `subset`.
+  std::uint8_t explore_masks(const State& s, std::uint32_t subset) {
+    std::uint32_t masks[kMaxN] = {0};
+    return explore_masks_rec(s, subset, 0, masks);
+  }
+
+  std::uint8_t explore_masks_rec(const State& s, std::uint32_t subset,
+                                 std::uint32_t from, std::uint32_t* masks) {
+    std::uint32_t p = from;
+    while (p < n && !(subset & (1u << p))) ++p;
+    if (p == n) {
+      return explore_state(step(s, subset, masks));
+    }
+    std::uint8_t bits = 0;
+    const std::uint32_t others = all_mask & ~(1u << p);
+    for (std::uint32_t m = 0;; m = (m - others) & others) {
+      masks[p] = m;
+      bits |= explore_masks_rec(s, subset, p + 1, masks);
+      if (m == others) break;
+    }
+    return bits;
+  }
+};
+
+}  // namespace
+
+ExploreResult explore(const GameConfig& config,
+                      const std::vector<std::uint8_t>& inputs) {
+  OMX_REQUIRE(config.n >= 2 && config.n <= kMaxN,
+              "explorer supports 2 <= n <= 5");
+  OMX_REQUIRE(config.t < config.n, "need at least one survivor");
+  OMX_REQUIRE(inputs.size() == config.n, "one input bit per process");
+
+  Game game;
+  game.n = config.n;
+  game.t = config.t;
+  game.rounds = config.rounds ? config.rounds : config.t + 1;
+  game.all_mask = (1u << config.n) - 1;
+  game.inputs = inputs;
+
+  Game::State init;
+  for (std::uint32_t p = 0; p < config.n; ++p) init.known[p] = 1u << p;
+
+  const std::uint8_t bits = game.explore_state(init);
+
+  ExploreResult res;
+  res.can_decide_0 = (bits & 1) != 0;
+  res.can_decide_1 = (bits & 2) != 0;
+  res.agreement = (bits & 4) == 0;
+  res.strategies = game.leaves;
+  res.states = game.memo.size();
+
+  bool unanimous = true;
+  for (std::uint8_t b : inputs) unanimous &= (b == inputs[0]);
+  res.validity = !unanimous ||
+                 (inputs[0] == 1 ? !res.can_decide_0 : !res.can_decide_1);
+  return res;
+}
+
+ValencyCensus census(const GameConfig& config) {
+  ValencyCensus out;
+  for (std::uint32_t assignment = 0; assignment < (1u << config.n);
+       ++assignment) {
+    std::vector<std::uint8_t> inputs(config.n);
+    for (std::uint32_t p = 0; p < config.n; ++p) {
+      inputs[p] = (assignment >> p) & 1;
+    }
+    const auto r = explore(config, inputs);
+    out.all_agree &= r.agreement;
+    out.all_valid &= r.validity;
+    if (r.bivalent()) ++out.bivalent;
+    else if (r.can_decide_0) ++out.univalent_0;
+    else ++out.univalent_1;
+  }
+  return out;
+}
+
+}  // namespace omx::valency

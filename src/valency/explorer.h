@@ -1,0 +1,64 @@
+// Exhaustive valency exploration (paper Appendix C, Lemma 13).
+//
+// The lower-bound proof classifies protocol states by *valency*: which
+// decisions an adversary can still force. For randomized algorithms that is
+// probabilistic, but its deterministic skeleton can be verified exhaustively
+// on small instances: we model the deterministic flood-set protocol under a
+// crash adversary (the fault type Theorem 2's proof uses — crashes are a
+// special case of omissions, §2) and enumerate EVERY adversarial strategy:
+//
+//   * per round, the adversary may crash any subset of alive processes
+//     within the budget t, choosing for each crash which recipients still
+//     receive that process's final message (the classic partial-delivery
+//     crash semantics);
+//   * after t+1 rounds every surviving process decides the majority of its
+//     collected (id, input) pairs (ties -> 0).
+//
+// The explorer returns, for a given input assignment: whether *all*
+// strategies preserve agreement and validity (an exhaustive model check of
+// the fallback protocol), and which decisions are achievable — i.e. the
+// assignment's valency. Lemma 13's deterministic analog is then checkable:
+// some assignment is bivalent whenever n >= 2 and t >= 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace omx::valency {
+
+struct GameConfig {
+  std::uint32_t n = 3;
+  std::uint32_t t = 1;
+  /// Rounds before deciding; 0 = the protocol's t+1.
+  std::uint32_t rounds = 0;
+};
+
+struct ExploreResult {
+  bool agreement = true;   // every strategy: all survivors decide alike
+  bool validity = true;    // unanimous non-faulty inputs force that value
+  bool can_decide_0 = false;
+  bool can_decide_1 = false;
+  std::uint64_t strategies = 0;   // leaves of the adversary game tree
+  std::uint64_t states = 0;       // distinct explored states (memoized)
+
+  bool bivalent() const { return can_decide_0 && can_decide_1; }
+  bool univalent() const { return can_decide_0 != can_decide_1; }
+};
+
+/// Explore every adversary strategy for the flood-set game on `inputs`.
+/// Practical limits: n <= 5, t <= 2 (the action space is exponential).
+ExploreResult explore(const GameConfig& config,
+                      const std::vector<std::uint8_t>& inputs);
+
+struct ValencyCensus {
+  std::uint32_t univalent_0 = 0;  // assignments that can only decide 0
+  std::uint32_t univalent_1 = 0;
+  std::uint32_t bivalent = 0;
+  bool all_agree = true;
+  bool all_valid = true;
+};
+
+/// Classify all 2^n input assignments (Lemma 13 census).
+ValencyCensus census(const GameConfig& config);
+
+}  // namespace omx::valency

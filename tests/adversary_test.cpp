@@ -1,0 +1,173 @@
+// Adversary strategies: each stays within the omission fault model and has
+// the intended effect on delivery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+namespace omx::adversary {
+namespace {
+
+using sim::Message;
+using sim::ProcessId;
+
+struct Bit {
+  std::uint8_t v = 0;
+  std::uint64_t bit_size() const { return 1; }
+};
+
+/// All-to-all broadcaster for `rounds` rounds; records per-process inbox
+/// sizes and sender sets.
+class BroadcastMachine final : public sim::Machine<Bit> {
+ public:
+  BroadcastMachine(std::uint32_t n, std::uint32_t rounds)
+      : n_(n), rounds_(rounds) {
+    heard_.assign(n, {});
+  }
+  std::uint32_t num_processes() const override { return n_; }
+  void begin_round(std::uint32_t r) override { cur_ = r; }
+  void round(ProcessId p, sim::RoundIo<Bit>& io) override {
+    for (const auto& m : io.inbox()) heard_[p].push_back(m.from);
+    if (cur_ < rounds_) {
+      for (ProcessId q = 0; q < n_; ++q) {
+        if (q != p) io.send(q, Bit{1});
+      }
+    }
+  }
+  bool finished() const override { return cur_ + 1 > rounds_; }
+
+  std::uint32_t n_, rounds_, cur_ = 0;
+  std::vector<std::vector<ProcessId>> heard_;
+};
+
+template <class Adv>
+BroadcastMachine run_broadcast(std::uint32_t n, std::uint32_t t,
+                               std::uint32_t rounds, Adv& adv) {
+  rng::Ledger ledger(n, 1);
+  sim::Runner<Bit> runner(n, t, &ledger, &adv);
+  BroadcastMachine m(n, rounds);
+  runner.run(m);
+  return m;
+}
+
+TEST(StaticCrash, SilencesFromScheduledRound) {
+  StaticCrashAdversary<Bit> adv({{2, 1}});  // crash process 2 at round 1
+  auto m = run_broadcast(4, 1, 3, adv);
+  // Process 0 hears 2 in round 1 (sent at round 0), then never again.
+  int from2 = 0;
+  for (auto f : m.heard_[0]) from2 += (f == 2);
+  EXPECT_EQ(from2, 1);
+  // Other senders are never affected: 3 rounds x 2 other senders + 1.
+  int from1 = 0;
+  for (auto f : m.heard_[0]) from1 += (f == 1);
+  EXPECT_EQ(from1, 3);
+}
+
+TEST(StaticCrash, RespectsBudget) {
+  StaticCrashAdversary<Bit> adv({{0, 0}, {1, 0}, {2, 0}});
+  rng::Ledger ledger(4, 1);
+  sim::Runner<Bit> runner(4, 2, &ledger, &adv);  // budget 2 < 3 crashes
+  BroadcastMachine m(4, 2);
+  const auto rr = runner.run(m);
+  EXPECT_EQ(rr.metrics.corrupted, 2u);
+}
+
+TEST(RandomOmission, DropsOnlyFaultyLinks) {
+  RandomOmissionAdversary<Bit> adv(8, 2, 1.0, 42);  // drop everything faulty
+  auto m = run_broadcast(8, 2, 2, adv);
+  // Exactly 2 processes are fully silenced: everyone hears from 5 others.
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    std::vector<int> cnt(8, 0);
+    for (auto f : m.heard_[p]) ++cnt[f];
+    int silent = 0;
+    for (std::uint32_t q = 0; q < 8; ++q) {
+      if (q == p) continue;
+      if (cnt[q] == 0) ++silent;
+      else EXPECT_EQ(cnt[q], 2);
+    }
+    // A faulty receiver loses everything; a healthy one only the faulty two.
+    EXPECT_TRUE(silent == 2 || silent == 7) << "p=" << p << " silent=" << silent;
+  }
+}
+
+TEST(SplitBrain, FaultySendersReachOnlyLowerHalf) {
+  SplitBrainAdversary<Bit> adv(8, {1});
+  auto m = run_broadcast(8, 1, 2, adv);
+  // Lower half (ids < 4) hears process 1; upper half never does.
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    if (p == 1) continue;
+    int from1 = 0;
+    for (auto f : m.heard_[p]) from1 += (f == 1);
+    if (p < 4) EXPECT_GT(from1, 0) << p;
+    else EXPECT_EQ(from1, 0) << p;
+  }
+}
+
+TEST(GroupKiller, ConcentratesExactlyBudgetVictims) {
+  std::vector<std::vector<ProcessId>> groups{{0, 1, 2}, {3, 4, 5}, {6, 7}};
+  GroupKillerAdversary<Bit> adv(groups);
+  rng::Ledger ledger(8, 1);
+  sim::Runner<Bit> runner(8, 4, &ledger, &adv);
+  BroadcastMachine m(8, 2);
+  const auto rr = runner.run(m);
+  EXPECT_EQ(rr.metrics.corrupted, 4u);  // 0,1,2 then 3 (partial group)
+  // Victims are silenced: nobody hears 0..3; everyone hears 4..7.
+  for (std::uint32_t p = 4; p < 8; ++p) {
+    for (auto f : m.heard_[p]) EXPECT_GE(f, 4u);
+  }
+}
+
+/// Fake probe: fixed votes, always fresh.
+class FakeProbe final : public VoteProbe {
+ public:
+  explicit FakeProbe(std::vector<std::uint8_t> votes)
+      : votes_(std::move(votes)) {}
+  std::uint32_t probe_num_processes() const override {
+    return static_cast<std::uint32_t>(votes_.size());
+  }
+  std::uint8_t probe_value(sim::ProcessId p) const override {
+    return votes_[p];
+  }
+  bool probe_counts_in_vote(sim::ProcessId) const override { return true; }
+  bool probe_votes_fresh() const override { return true; }
+
+ private:
+  std::vector<std::uint8_t> votes_;
+};
+
+TEST(CoinHiding, PullsMajorityBackIntoDeadZone) {
+  // 12 of 16 vote 1 (75% > 60%): the adversary should silence 1-voters.
+  std::vector<std::uint8_t> votes(16, 0);
+  for (int i = 0; i < 12; ++i) votes[i] = 1;
+  FakeProbe probe(votes);
+  rng::Ledger ledger(16, 1);
+  CoinHidingAdversary<Bit> adv(&probe, &ledger);
+  sim::Runner<Bit> runner(16, 8, &ledger, &adv);
+  BroadcastMachine m(16, 2);
+  const auto rr = runner.run(m);
+  EXPECT_GT(rr.metrics.corrupted, 0u);
+  EXPECT_LE(rr.metrics.corrupted, 8u);
+  EXPECT_GT(adv.victims(), 0u);
+  // Victims must all be 1-voters.
+  // 75% -> target <= 60%: hide k such that (12-k)/(16-k) <= 0.6 -> k >= 6,
+  // but the per-round allowance caps it; over 2 rounds it gets there.
+  // (Exact count depends on allowance; the invariant: never over budget.)
+}
+
+TEST(CoinHiding, IdleWhenBalanced) {
+  std::vector<std::uint8_t> votes(16, 0);
+  for (int i = 0; i < 9; ++i) votes[i] = 1;  // 56% in (50%, 60%]
+  FakeProbe probe(votes);
+  rng::Ledger ledger(16, 1);
+  CoinHidingAdversary<Bit> adv(&probe, &ledger);
+  sim::Runner<Bit> runner(16, 8, &ledger, &adv);
+  BroadcastMachine m(16, 2);
+  const auto rr = runner.run(m);
+  EXPECT_EQ(rr.metrics.corrupted, 0u);
+}
+
+}  // namespace
+}  // namespace omx::adversary

@@ -1,0 +1,166 @@
+// Baselines: deterministic flood-set (correct under any omission pattern)
+// and the Ben-Or-style crash-model protocol (correct under crashes; its
+// omission weaknesses are bench material, not spec claims).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/ben_or.h"
+#include "baselines/flood_set.h"
+#include "core/params.h"
+#include "harness/experiment.h"
+
+namespace omx {
+namespace {
+
+using harness::Attack;
+using harness::ExperimentConfig;
+using harness::InputPattern;
+using harness::run_experiment;
+
+class FloodSetSpec
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, Attack,
+                                                 InputPattern, std::uint64_t>> {
+};
+
+TEST_P(FloodSetSpec, CorrectUnderAnyOmissionPattern) {
+  const auto [n, attack, inputs, seed] = GetParam();
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::FloodSet;
+  cfg.n = n;
+  cfg.t = core::Params::max_t_optimal(n);  // honest supermajority
+  cfg.attack = attack;
+  cfg.inputs = inputs;
+  cfg.seed = seed;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity);
+  EXPECT_TRUE(r.all_nonfaulty_decided);
+  // Deterministic: never draws randomness.
+  EXPECT_EQ(r.metrics.random_bits, 0u);
+  // Θ(t) rounds.
+  EXPECT_LE(r.time_rounds, cfg.t + 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FloodSetSpec,
+    ::testing::Combine(::testing::Values(33u, 64u, 128u),
+                       ::testing::Values(Attack::None, Attack::StaticCrash,
+                                         Attack::RandomOmission,
+                                         Attack::SplitBrain,
+                                         Attack::GroupKiller),
+                       ::testing::Values(InputPattern::Random,
+                                         InputPattern::AllOne),
+                       ::testing::Values(1u, 2u)));
+
+TEST(FloodSet, ZeroFaultsDecidesInThreeRounds) {
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::FloodSet;
+  cfg.n = 16;
+  cfg.t = 0;
+  cfg.inputs = InputPattern::Half;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_LE(r.time_rounds, 3u);
+}
+
+TEST(FloodSet, ValidityOnUnanimousInputs) {
+  for (auto pattern : {InputPattern::AllZero, InputPattern::AllOne}) {
+    ExperimentConfig cfg;
+    cfg.algo = harness::Algo::FloodSet;
+    cfg.n = 64;
+    cfg.t = 2;
+    cfg.attack = Attack::SplitBrain;
+    cfg.inputs = pattern;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.decision, pattern == InputPattern::AllOne ? 1 : 0);
+  }
+}
+
+class BenOrSpec
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, Attack,
+                                                 std::uint64_t>> {};
+
+TEST_P(BenOrSpec, CorrectUnderCrashFaults) {
+  const auto [n, attack, seed] = GetParam();
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::BenOr;
+  cfg.n = n;
+  cfg.t = core::Params::max_t_optimal(n);
+  cfg.attack = attack;
+  cfg.inputs = InputPattern::Random;
+  cfg.seed = seed;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity);
+  EXPECT_TRUE(r.all_nonfaulty_decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BenOrSpec,
+    ::testing::Combine(::testing::Values(33u, 64u, 128u),
+                       ::testing::Values(Attack::None, Attack::StaticCrash),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(BenOr, FastWithoutFaults) {
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::BenOr;
+  cfg.n = 128;
+  cfg.t = 4;
+  cfg.inputs = InputPattern::AllOne;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_LE(r.time_rounds, 4u);
+  EXPECT_EQ(r.metrics.random_bits, 0u);  // unanimity: no dead zone
+}
+
+TEST(BenOr, QuadraticBitsPerRoundVersusOptimalEpochs) {
+  // §B.3: the all-to-all baseline pays Θ(n²) bits per *round*; Algorithm 1
+  // pays Õ(n^{3/2}) per epoch. Compare per-round cost directly.
+  const std::uint32_t n = 256;
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::BenOr;
+  cfg.n = n;
+  cfg.t = 0;
+  cfg.inputs = InputPattern::Half;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  const double per_round =
+      static_cast<double>(r.metrics.comm_bits) / r.metrics.rounds;
+  EXPECT_GE(per_round, static_cast<double>(n) * n / 2);
+}
+
+TEST(BenOr, CoinHidingDelaysButCannotOutlastBudget) {
+  // The Theorem-2 adversary stretches the run; with its budget exhausted the
+  // protocol still terminates (possibly via the fallback).
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::BenOr;
+  cfg.n = 128;
+  cfg.t = 16;
+  cfg.attack = Attack::CoinHiding;
+  cfg.inputs = InputPattern::Half;
+  cfg.seed = 2;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_nonfaulty_decided);
+  EXPECT_TRUE(r.agreement);
+
+  ExperimentConfig benign = cfg;
+  benign.attack = Attack::None;
+  const auto rb = run_experiment(benign);
+  EXPECT_GE(r.time_rounds, rb.time_rounds);  // the attack never helps
+}
+
+TEST(BenOr, SingleProcess) {
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::BenOr;
+  cfg.n = 1;
+  cfg.t = 0;
+  cfg.inputs = InputPattern::AllOne;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.decision, 1);
+}
+
+}  // namespace
+}  // namespace omx

@@ -1,0 +1,107 @@
+// One-round coin-flipping game (Appendix C, Lemma 12): the hide budget
+// 8·√(k·ln(1/α)) biases the outcome with probability >= 1 - α.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "coinflip/game.h"
+#include "support/check.h"
+
+namespace omx::coinflip {
+namespace {
+
+TEST(HideBudget, Formula) {
+  EXPECT_EQ(hide_budget(100, 0.5), static_cast<std::uint64_t>(std::ceil(
+                                       8 * std::sqrt(100 * std::log(2.0)))));
+  EXPECT_GT(hide_budget(100, 0.01), hide_budget(100, 0.5));
+  EXPECT_GT(hide_budget(400, 0.1), hide_budget(100, 0.1));
+  // √k scaling: quadrupling k doubles the budget.
+  EXPECT_NEAR(static_cast<double>(hide_budget(4096, 0.1)),
+              2.0 * static_cast<double>(hide_budget(1024, 0.1)), 2.0);
+  EXPECT_THROW(hide_budget(10, 0.0), PreconditionError);
+  EXPECT_THROW(hide_budget(10, 0.9), PreconditionError);
+}
+
+class Lemma12 : public ::testing::TestWithParam<
+                    std::tuple<std::uint64_t, double, std::uint8_t>> {};
+
+TEST_P(Lemma12, BiasSucceedsWithProbabilityAtLeastOneMinusAlpha) {
+  const auto [k, alpha, target] = GetParam();
+  GameConfig cfg;
+  cfg.players = k;
+  cfg.alpha = alpha;
+  cfg.target = target;
+  const auto stats = play_many(cfg, 4000, 12345);
+  // Empirical success rate must be >= 1 - alpha (with MC slack).
+  EXPECT_GE(stats.success_rate, 1.0 - alpha - 0.02)
+      << "k=" << k << " alpha=" << alpha;
+  // The budget is generous: typical hides are far below it.
+  EXPECT_LT(stats.mean_hides_needed, static_cast<double>(stats.budget));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma12,
+    ::testing::Combine(::testing::Values(16ull, 256ull, 4096ull, 65536ull),
+                       ::testing::Values(0.5, 0.1, 0.01),
+                       ::testing::Values(std::uint8_t{0}, std::uint8_t{1})));
+
+TEST(Game, HidesNeededScalesLikeSqrtK) {
+  // Mean |binomial deviation| ~ √(k/2π): quadrupling k doubles the need.
+  GameConfig cfg;
+  cfg.alpha = 0.1;
+  cfg.target = 0;
+  cfg.players = 1024;
+  const auto a = play_many(cfg, 20000, 7);
+  cfg.players = 4096;
+  const auto b = play_many(cfg, 20000, 7);
+  EXPECT_NEAR(b.mean_hides_needed / a.mean_hides_needed, 2.0, 0.2);
+}
+
+TEST(Game, ZeroBudgetFactorFailsOften) {
+  // Sanity: with essentially no hides allowed, biasing fails about half
+  // the time (the coin is where it wants to be ~50%).
+  GameConfig cfg;
+  cfg.players = 4096;
+  cfg.alpha = 0.5;
+  cfg.budget_factor = 0.001;
+  cfg.target = 0;
+  const auto stats = play_many(cfg, 4000, 99);
+  EXPECT_LT(stats.success_rate, 0.65);
+  EXPECT_GT(stats.success_rate, 0.35);
+}
+
+TEST(Game, DeterministicGivenSeed) {
+  GameConfig cfg;
+  cfg.players = 512;
+  cfg.alpha = 0.1;
+  const auto a = play_many(cfg, 100, 42);
+  const auto b = play_many(cfg, 100, 42);
+  EXPECT_EQ(a.biased, b.biased);
+  EXPECT_EQ(a.max_hides_needed, b.max_hides_needed);
+}
+
+TEST(Game, PlayOnceReportsConsistently) {
+  Xoshiro256 gen(5);
+  GameConfig cfg;
+  cfg.players = 128;
+  cfg.alpha = 0.25;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = play_once(cfg, gen);
+    EXPECT_EQ(r.biased, r.hides_needed <= r.budget);
+    EXPECT_EQ(r.outcome == cfg.target, r.biased);
+  }
+}
+
+TEST(Game, ValidatesInput) {
+  GameConfig cfg;
+  cfg.players = 0;
+  Xoshiro256 gen(1);
+  EXPECT_THROW(play_once(cfg, gen), PreconditionError);
+  cfg.players = 4;
+  cfg.target = 2;
+  EXPECT_THROW(play_once(cfg, gen), PreconditionError);
+}
+
+}  // namespace
+}  // namespace omx::coinflip

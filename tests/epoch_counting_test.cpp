@@ -1,0 +1,166 @@
+// White-box tests of a single epoch of Algorithm 1: the combination of
+// GroupBitsAggregation + GroupBitsSpreading must produce *exact* global
+// counts when no faults occur (Lemmas 1, 6 and 8 with an empty fault set),
+// and bounded-divergence counts under targeted silencing.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/strategies.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+namespace omx::core {
+namespace {
+
+/// Drive an OptimalMachine for exactly `rounds` rounds under `adv`.
+void drive(OptimalMachine& machine, rng::Ledger& ledger,
+           sim::Adversary<Msg>& adv, std::uint32_t rounds, std::uint32_t t) {
+  const std::uint32_t n = machine.num_processes();
+  sim::Runner<Msg>::Options opts;
+  opts.max_rounds = rounds;
+  sim::Runner<Msg> runner(n, t, &ledger, &adv, opts);
+  runner.run(machine);
+}
+
+class ExactCounting
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 harness::InputPattern>> {};
+
+TEST_P(ExactCounting, FaultFreeEpochCountsAreExactEverywhere) {
+  const auto [n, pattern] = GetParam();
+  auto inputs = harness::make_inputs(pattern, n, 42);
+  std::uint32_t true_ones = 0;
+  for (auto b : inputs) true_ones += b;
+
+  OptimalConfig cfg;
+  cfg.t = 0;
+  OptimalMachine machine(cfg, inputs);
+  rng::Ledger ledger(n, 1);
+  adversary::NullAdversary<Msg> adv;
+  // One full epoch + 1 round so the vote update lands.
+  drive(machine, ledger, adv, machine.core().epoch_rounds() + 1, 0);
+
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const auto est = machine.core().last_estimate(p);
+    ASSERT_TRUE(est.has_value()) << "no estimate at " << p;
+    EXPECT_EQ(est->first, true_ones) << "ones wrong at " << p;
+    EXPECT_EQ(est->second, n - true_ones) << "zeros wrong at " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExactCounting,
+    ::testing::Combine(::testing::Values(9u, 16u, 17u, 64u, 100u, 256u),
+                       ::testing::Values(harness::InputPattern::AllOne,
+                                         harness::InputPattern::Half,
+                                         harness::InputPattern::Random,
+                                         harness::InputPattern::Alternating)));
+
+TEST(EpochCounting, SilencedProcessesAreExcludedNotMiscounted) {
+  // Silence k processes from round 0: every operative estimate must count
+  // exactly the n-k live ones (silenced values never leak in, and the
+  // estimate never double-counts).
+  const std::uint32_t n = 100;
+  const std::uint32_t k = 3;
+  auto inputs = harness::make_inputs(harness::InputPattern::AllOne, n, 1);
+  OptimalConfig cfg;
+  cfg.t = k;
+  OptimalMachine machine(cfg, inputs);
+  rng::Ledger ledger(n, 1);
+  adversary::StaticCrashAdversary<Msg> adv({{0, 0}, {1, 0}, {2, 0}});
+  drive(machine, ledger, adv, machine.core().epoch_rounds() + 1, k);
+
+  for (std::uint32_t p = k; p < n; ++p) {
+    if (!machine.core().operative(p)) continue;
+    const auto est = machine.core().last_estimate(p);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(est->second, 0u);
+    EXPECT_LE(est->first, n - k);
+    EXPECT_GE(est->first + 2 * k, n)
+        << "silencing k processes may remove at most ~k counts";
+  }
+}
+
+TEST(EpochCounting, WholeGroupSilencedStillCounts) {
+  // Kill group 0 completely: remaining operative processes must count all
+  // remaining groups (the spreading graph routes around the hole).
+  const std::uint32_t n = 144;  // 12 groups of 12
+  auto inputs = harness::make_inputs(harness::InputPattern::AllOne, n, 1);
+  OptimalConfig cfg;
+  cfg.t = 12;
+  OptimalMachine machine(cfg, inputs);
+  rng::Ledger ledger(n, 1);
+  std::vector<std::vector<sim::ProcessId>> groups(1);
+  for (sim::ProcessId p = 0; p < 12; ++p) groups[0].push_back(p);
+  adversary::GroupKillerAdversary<Msg> adv(groups);
+  drive(machine, ledger, adv, machine.core().epoch_rounds() + 1, 12);
+
+  for (std::uint32_t p = 12; p < n; ++p) {
+    if (!machine.core().operative(p)) continue;
+    const auto est = machine.core().last_estimate(p);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(est->first, n - 12) << "process " << p;
+  }
+}
+
+TEST(EpochCounting, SecondEpochCountsUpdatedValues) {
+  // After epoch 1 everyone below the 15/30 threshold flips to 0; epoch 2
+  // must count the *new* values (no stale-epoch leakage).
+  const std::uint32_t n = 64;
+  std::vector<std::uint8_t> inputs(n, 0);
+  for (std::uint32_t p = 0; p < 16; ++p) inputs[p] = 1;  // 25% ones
+
+  OptimalConfig cfg;
+  cfg.t = 0;
+  OptimalMachine machine(cfg, inputs);
+  rng::Ledger ledger(n, 1);
+  adversary::NullAdversary<Msg> adv;
+  drive(machine, ledger, adv, 2 * machine.core().epoch_rounds() + 1, 0);
+
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const auto est = machine.core().last_estimate(p);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(est->first, 0u);   // everyone flipped to 0 after epoch 1
+    EXPECT_EQ(est->second, n);
+  }
+  EXPECT_EQ(ledger.bits(), 0u);  // 25% is outside the dead zone: no coins
+}
+
+TEST(EpochCounting, DeadZoneDrawsExactlyOneCoinPerProcess) {
+  const std::uint32_t n = 64;
+  auto inputs = harness::make_inputs(harness::InputPattern::Alternating, n, 1);
+  OptimalConfig cfg;
+  cfg.t = 0;
+  OptimalMachine machine(cfg, inputs);
+  rng::Ledger ledger(n, 1);
+  adversary::NullAdversary<Msg> adv;
+  drive(machine, ledger, adv, machine.core().epoch_rounds() + 1, 0);
+  EXPECT_EQ(ledger.bits(), n);  // 50% ones: every process flips once
+  EXPECT_EQ(ledger.calls(), n);
+}
+
+TEST(EpochCounting, OperativeHistoryTracksSilencing) {
+  const std::uint32_t n = 100;
+  const std::uint32_t t = 3;
+  auto inputs = harness::make_inputs(harness::InputPattern::Random, n, 5);
+  OptimalConfig cfg;
+  cfg.t = t;
+  OptimalMachine machine(cfg, inputs);
+  rng::Ledger ledger(n, 5);
+  adversary::StaticCrashAdversary<Msg> adv({{10, 0}, {20, 0}, {30, 0}});
+  sim::Runner<Msg> runner(n, t, &ledger, &adv);
+  machine.set_fault_view(&runner.faults());
+  runner.run(machine);
+  const auto& hist = machine.core().operative_history();
+  ASSERT_FALSE(hist.empty());
+  // The three fully-silenced processes are inoperative from epoch 1 on;
+  // nobody else should have been dragged down (fault-free links).
+  for (auto count : hist) EXPECT_EQ(count, n - t);
+}
+
+}  // namespace
+}  // namespace omx::core

@@ -1,0 +1,93 @@
+// Experiment-support toolkit: table rendering and log-log fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "expsup/fit.h"
+#include "expsup/table.h"
+#include "support/check.h"
+
+namespace omx::expsup {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t("demo", {"n", "rounds"});
+  t.add_row({"64", "123"});
+  t.add_row({"128", "4567"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| n "), std::string::npos);
+  EXPECT_NE(s.find("4567"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo", {"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("demo", {"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), PreconditionError);
+  EXPECT_THROW(Table("x", {}), PreconditionError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(0.0), "0");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(3.14159), "3.14");
+  EXPECT_EQ(Table::num(12345.6), "12346");
+  EXPECT_NE(Table::num(1e9).find("e"), std::string::npos);
+}
+
+TEST(Fit, RecoversExactPowerLaw) {
+  std::vector<double> xs, ys;
+  for (double x : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 1.5));
+  }
+  const auto fit = fit_loglog(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.5, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Fit, NoisyPowerLawStillClose) {
+  std::vector<double> xs, ys;
+  double wiggle = 0.9;
+  for (double x = 8; x <= 4096; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(wiggle * std::pow(x, 2.0));
+    wiggle = wiggle > 1.0 ? 0.9 : 1.1;  // +-10% alternating noise
+  }
+  const auto fit = fit_loglog(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Fit, ValidatesInput) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(fit_loglog(one, one), PreconditionError);
+  std::vector<double> xs{1.0, 2.0}, bad{1.0, -2.0};
+  EXPECT_THROW(fit_loglog(xs, bad), PreconditionError);
+  std::vector<double> same{2.0, 2.0}, ys{1.0, 2.0};
+  EXPECT_THROW(fit_loglog(same, ys), PreconditionError);
+  std::vector<double> mismatched{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_loglog(xs, mismatched), PreconditionError);
+}
+
+TEST(Fit, FlatSeriesHasZeroSlope) {
+  std::vector<double> xs{1, 2, 4, 8}, ys{5, 5, 5, 5};
+  const auto fit = fit_loglog(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace omx::expsup

@@ -1,0 +1,196 @@
+// Extension features: early-decide mode, send-omission faults, and the
+// Recorder trace decorator.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/recorder.h"
+#include "adversary/strategies.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+namespace omx {
+namespace {
+
+using harness::Attack;
+using harness::ExperimentConfig;
+using harness::InputPattern;
+using harness::run_experiment;
+
+class EarlyDecideSpec
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, Attack,
+                                                 InputPattern, std::uint64_t>> {
+};
+
+TEST_P(EarlyDecideSpec, SameGuaranteesFewerRounds) {
+  const auto [n, attack, inputs, seed] = GetParam();
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.t = core::Params::max_t_optimal(n);
+  cfg.attack = attack;
+  cfg.inputs = inputs;
+  cfg.seed = seed;
+  const auto slow = run_experiment(cfg);
+  cfg.params.early_decide = true;
+  const auto fast = run_experiment(cfg);
+
+  EXPECT_TRUE(slow.ok());
+  EXPECT_TRUE(fast.ok());
+  EXPECT_LE(fast.time_rounds, slow.time_rounds);
+  // Coins are drawn the same way until the decision point, and identical
+  // streams mean the *decision value* matches whenever both runs converge
+  // through the voting path (it always does for unanimous inputs).
+  if (inputs == InputPattern::AllOne) {
+    EXPECT_EQ(fast.decision, 1);
+    EXPECT_EQ(slow.decision, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EarlyDecideSpec,
+    ::testing::Combine(::testing::Values(64u, 150u, 256u),
+                       ::testing::Values(Attack::None, Attack::RandomOmission,
+                                         Attack::SplitBrain,
+                                         Attack::CoinHiding),
+                       ::testing::Values(InputPattern::Alternating,
+                                         InputPattern::AllOne),
+                       ::testing::Values(1u, 2u)));
+
+TEST(EarlyDecide, SubstantiallyFasterWhenBenign) {
+  ExperimentConfig cfg;
+  cfg.n = 256;
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  cfg.inputs = InputPattern::AllOne;  // decided after ~2 epochs
+  const auto slow = run_experiment(cfg);
+  cfg.params.early_decide = true;
+  const auto fast = run_experiment(cfg);
+  EXPECT_LT(2 * fast.time_rounds, slow.time_rounds);
+}
+
+TEST(EarlyDecide, ParamMachineKeepsInnerScheduleFixed) {
+  // Algorithm 4 must ignore early_decide inside the truncated embedding:
+  // the phase layout (and hence every process's schedule) is unchanged.
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::Param;
+  cfg.n = 120;
+  cfg.x = 4;
+  cfg.t = core::Params::max_t_param(cfg.n);
+  cfg.inputs = InputPattern::Alternating;
+  const auto base = run_experiment(cfg);
+  cfg.params.early_decide = true;
+  const auto early = run_experiment(cfg);
+  EXPECT_TRUE(base.ok());
+  EXPECT_TRUE(early.ok());
+  EXPECT_EQ(base.time_rounds, early.time_rounds);
+}
+
+class SendOmissionSpec
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(SendOmissionSpec, MilderThanGeneralOmission) {
+  const auto [n, seed] = GetParam();
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.t = core::Params::max_t_optimal(n);
+  cfg.inputs = InputPattern::Random;
+  cfg.seed = seed;
+  cfg.drop_prob = 1.0;
+  cfg.attack = Attack::SendOmission;
+  const auto send_only = run_experiment(cfg);
+  cfg.attack = Attack::RandomOmission;
+  const auto general = run_experiment(cfg);
+  EXPECT_TRUE(send_only.ok());
+  EXPECT_TRUE(general.ok());
+  // Same faulty set and drop rate: the general adversary attacks a strict
+  // superset of messages.
+  EXPECT_LE(send_only.metrics.omitted, general.metrics.omitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SendOmissionSpec,
+                         ::testing::Combine(::testing::Values(64u, 150u),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+TEST(OmissionModes, ReceiveOnlyAlsoLegal) {
+  const std::uint32_t n = 100;
+  const std::uint32_t t = core::Params::max_t_optimal(n);
+  core::OptimalConfig mc;
+  mc.t = t;
+  auto inputs = harness::make_inputs(InputPattern::Half, n, 1);
+  core::OptimalMachine machine(mc, inputs);
+  rng::Ledger ledger(n, 1);
+  adversary::RandomOmissionAdversary<core::Msg> adv(
+      n, t, 1.0, 5, adversary::OmissionMode::ReceiveOnly);
+  sim::Runner<core::Msg> runner(n, t, &ledger, &adv);
+  machine.set_fault_view(&runner.faults());
+  const auto rr = runner.run(machine);
+  EXPECT_GT(rr.metrics.omitted, 0u);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (!runner.faults().is_corrupted(p)) {
+      EXPECT_TRUE(machine.core().outcome(p).decided);
+    }
+  }
+}
+
+TEST(Recorder, PureWiretapMatchesRunnerMetrics) {
+  const std::uint32_t n = 64;
+  core::OptimalConfig mc;
+  mc.t = 2;
+  auto inputs = harness::make_inputs(InputPattern::Half, n, 1);
+  core::OptimalMachine machine(mc, inputs);
+  rng::Ledger ledger(n, 1);
+  adversary::NullAdversary<core::Msg> null_adv;
+  adversary::Recorder<core::Msg> rec(&null_adv);
+  sim::Runner<core::Msg> runner(n, 2, &ledger, &rec);
+  machine.set_fault_view(&runner.faults());
+  const auto rr = runner.run(machine);
+
+  EXPECT_EQ(rec.trace().size(), rr.metrics.rounds);
+  EXPECT_EQ(rec.total_messages(), rr.metrics.messages);
+  EXPECT_EQ(rec.total_bits(), rr.metrics.comm_bits);
+  EXPECT_EQ(rec.total_omitted(), 0u);
+  // Rounds are consecutively numbered.
+  for (std::size_t i = 0; i < rec.trace().size(); ++i) {
+    EXPECT_EQ(rec.trace()[i].round, i);
+  }
+}
+
+TEST(Recorder, DelegatesToInnerAdversary) {
+  const std::uint32_t n = 64;
+  const std::uint32_t t = 2;
+  core::OptimalConfig mc;
+  mc.t = t;
+  auto inputs = harness::make_inputs(InputPattern::Half, n, 1);
+  core::OptimalMachine machine(mc, inputs);
+  rng::Ledger ledger(n, 1);
+  adversary::RandomOmissionAdversary<core::Msg> inner(n, t, 0.9, 3);
+  adversary::Recorder<core::Msg> rec(&inner);
+  sim::Runner<core::Msg> runner(n, t, &ledger, &rec);
+  machine.set_fault_view(&runner.faults());
+  const auto rr = runner.run(machine);
+  EXPECT_GT(rec.total_omitted(), 0u);
+  EXPECT_EQ(rec.total_omitted(), rr.metrics.omitted);
+  EXPECT_EQ(rr.metrics.corrupted, t);
+}
+
+TEST(Recorder, PeakRoundIsPlausible) {
+  const std::uint32_t n = 100;
+  core::OptimalConfig mc;
+  mc.t = 3;
+  auto inputs = harness::make_inputs(InputPattern::Random, n, 2);
+  core::OptimalMachine machine(mc, inputs);
+  rng::Ledger ledger(n, 2);
+  adversary::Recorder<core::Msg> rec(nullptr);  // pure wiretap
+  sim::Runner<core::Msg> runner(n, 3, &ledger, &rec);
+  machine.set_fault_view(&runner.faults());
+  runner.run(machine);
+  const auto peak = rec.peak_bits_round();
+  EXPECT_GT(peak.bits, 0u);
+  EXPECT_LT(peak.round, rec.trace().size());
+}
+
+}  // namespace
+}  // namespace omx

@@ -1,0 +1,66 @@
+// Golden regression anchors: for a handful of fixed (config, seed) pairs
+// the full metric vector is pinned exactly. Any change to the protocol
+// logic, the message accounting, the PRNG plumbing or the adversary
+// strategies will move at least one of these numbers — which is the point:
+// an intentional change must update the goldens consciously.
+//
+// (The *semantic* properties are covered by the other suites; this one
+// exists to catch silent behavioural drift.)
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace omx {
+namespace {
+
+struct Golden {
+  harness::Algo algo;
+  harness::Attack attack;
+  std::uint32_t n, t, x;
+  harness::InputPattern inputs;
+  std::uint64_t seed;
+  // expectations
+  std::uint64_t time_rounds, messages, comm_bits, random_bits, omitted;
+  std::uint8_t decision;
+};
+
+class GoldenRun : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenRun, MetricsPinnedExactly) {
+  const Golden& g = GetParam();
+  harness::ExperimentConfig cfg;
+  cfg.algo = g.algo;
+  cfg.attack = g.attack;
+  cfg.n = g.n;
+  cfg.t = g.t;
+  cfg.x = g.x;
+  cfg.inputs = g.inputs;
+  cfg.seed = g.seed;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.time_rounds, g.time_rounds);
+  EXPECT_EQ(r.metrics.messages, g.messages);
+  EXPECT_EQ(r.metrics.comm_bits, g.comm_bits);
+  EXPECT_EQ(r.metrics.random_bits, g.random_bits);
+  EXPECT_EQ(r.metrics.omitted, g.omitted);
+  EXPECT_EQ(r.decision, g.decision);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Anchors, GoldenRun,
+    ::testing::Values(
+        Golden{harness::Algo::Optimal, harness::Attack::RandomOmission, 96, 3,
+               1, harness::InputPattern::Alternating, 11,
+               299, 613701, 3019728, 93, 2720, 0},
+        Golden{harness::Algo::Param, harness::Attack::SplitBrain, 120, 1, 4,
+               harness::InputPattern::Half, 22,
+               744, 532880, 1468450, 0, 264, 1},
+        Golden{harness::Algo::FloodSet, harness::Attack::GroupKiller, 90, 2,
+               1, harness::InputPattern::Random, 33,
+               4, 23852, 4645088, 0, 884, 1},
+        Golden{harness::Algo::BenOr, harness::Attack::StaticCrash, 100, 3, 1,
+               harness::InputPattern::Random, 44,
+               3, 29900, 39800, 0, 0, 0}));
+
+}  // namespace
+}  // namespace omx

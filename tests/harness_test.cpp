@@ -1,0 +1,142 @@
+// The experiment harness itself: verdict semantics (agreement / validity /
+// termination over the post-run corruption set), input construction, config
+// validation, and time accounting.
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "support/check.h"
+
+namespace omx::harness {
+namespace {
+
+TEST(Harness, MakeInputsPatterns) {
+  EXPECT_EQ(make_inputs(InputPattern::AllZero, 5, 1),
+            (std::vector<std::uint8_t>{0, 0, 0, 0, 0}));
+  EXPECT_EQ(make_inputs(InputPattern::AllOne, 4, 1),
+            (std::vector<std::uint8_t>{1, 1, 1, 1}));
+  EXPECT_EQ(make_inputs(InputPattern::Half, 4, 1),
+            (std::vector<std::uint8_t>{1, 1, 0, 0}));
+  EXPECT_EQ(make_inputs(InputPattern::OneDissent, 3, 1),
+            (std::vector<std::uint8_t>{0, 1, 1}));
+  EXPECT_EQ(make_inputs(InputPattern::Alternating, 4, 1),
+            (std::vector<std::uint8_t>{0, 1, 0, 1}));
+  // Random is seeded and fair-ish.
+  const auto a = make_inputs(InputPattern::Random, 1000, 7);
+  const auto b = make_inputs(InputPattern::Random, 1000, 7);
+  const auto c = make_inputs(InputPattern::Random, 1000, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::uint32_t ones = 0;
+  for (auto v : a) ones += v;
+  EXPECT_NEAR(ones, 500, 80);
+}
+
+TEST(Harness, ToStringCoversEverything) {
+  EXPECT_STREQ(to_string(Algo::Optimal), "optimal");
+  EXPECT_STREQ(to_string(Algo::Param), "param");
+  EXPECT_STREQ(to_string(Algo::FloodSet), "floodset");
+  EXPECT_STREQ(to_string(Algo::BenOr), "benor");
+  EXPECT_STREQ(to_string(Attack::None), "none");
+  EXPECT_STREQ(to_string(Attack::SendOmission), "send-omit");
+  EXPECT_STREQ(to_string(Attack::Chaos), "chaos");
+  EXPECT_STREQ(to_string(InputPattern::Alternating), "alternating");
+}
+
+TEST(Harness, ExplicitInputsMustMatchN) {
+  ExperimentConfig cfg;
+  cfg.n = 8;
+  cfg.explicit_inputs = {0, 1};  // wrong length
+  EXPECT_THROW(run_experiment(cfg), PreconditionError);
+}
+
+TEST(Harness, ExplicitInputsOverridePattern) {
+  ExperimentConfig cfg;
+  cfg.algo = Algo::FloodSet;
+  cfg.n = 9;
+  cfg.t = 0;
+  cfg.inputs = InputPattern::AllZero;          // would decide 0...
+  cfg.explicit_inputs.assign(9, 1);            // ...but these say 1
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.decision, 1);
+}
+
+TEST(Harness, CoinHidingOnFloodSetIsRejected) {
+  ExperimentConfig cfg;
+  cfg.algo = Algo::FloodSet;
+  cfg.attack = Attack::CoinHiding;  // no vote probe on a det. protocol
+  cfg.n = 16;
+  cfg.t = 1;
+  EXPECT_THROW(run_experiment(cfg), PreconditionError);
+}
+
+TEST(Harness, TimeRoundsNeverExceedsEngineRounds) {
+  for (auto algo : {Algo::Optimal, Algo::Param, Algo::FloodSet, Algo::BenOr}) {
+    ExperimentConfig cfg;
+    cfg.algo = algo;
+    cfg.n = 64;
+    cfg.x = 4;
+    cfg.t = algo == Algo::Param ? core::Params::max_t_param(64)
+                                : core::Params::max_t_optimal(64);
+    cfg.attack = Attack::StaticCrash;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.ok());
+    EXPECT_LE(r.time_rounds, r.metrics.rounds + 1) << to_string(algo);
+    EXPECT_GE(r.time_rounds, 1u) << to_string(algo);
+  }
+}
+
+TEST(Harness, ValidityVerdictUsesNonFaultyInputsOnly) {
+  // Non-faulty unanimous 1, the (crashed) dissenter holds 0: the verdict
+  // must demand decision == 1, and the algorithms deliver it.
+  ExperimentConfig cfg;
+  cfg.n = 60;
+  cfg.t = 1;
+  cfg.inputs = InputPattern::OneDissent;  // process 0 dissents...
+  cfg.attack = Attack::StaticCrash;       // ...and the schedule may hit it
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.agreement);
+    EXPECT_TRUE(r.validity) << "seed " << seed;
+  }
+}
+
+TEST(Harness, BudgetFieldCapsLedger) {
+  ExperimentConfig cfg;
+  cfg.n = 64;
+  cfg.t = 2;
+  cfg.inputs = InputPattern::Alternating;  // would draw 64 coins uncapped
+  cfg.random_bit_budget = 10;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_LE(r.metrics.random_bits, 10u);
+}
+
+TEST(Harness, CorruptedCountNeverExceedsBudget) {
+  for (auto attack : {Attack::StaticCrash, Attack::RandomOmission,
+                      Attack::SplitBrain, Attack::GroupKiller, Attack::Chaos}) {
+    ExperimentConfig cfg;
+    cfg.n = 90;
+    cfg.t = 3;
+    cfg.attack = attack;
+    const auto r = run_experiment(cfg);
+    EXPECT_LE(r.corrupted, 3u) << to_string(attack);
+  }
+}
+
+TEST(Harness, OperativeEndReportedForOperativeAlgorithmsOnly) {
+  ExperimentConfig cfg;
+  cfg.n = 64;
+  cfg.t = 2;
+  const auto opt = run_experiment(cfg);
+  EXPECT_GT(opt.operative_end, 0u);
+  cfg.algo = Algo::FloodSet;
+  const auto flood = run_experiment(cfg);
+  EXPECT_EQ(flood.operative_end, 0u);  // concept does not apply
+}
+
+}  // namespace
+}  // namespace omx::harness

@@ -1,0 +1,170 @@
+// Multi-valued consensus (bit-by-bit over Algorithm 1): agreement, strong
+// validity (the decision is some process's input — omission faults cannot
+// invent values), unanimity short-circuits, and the paper's validity clause.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "adversary/strategies.h"
+#include "core/multi_value.h"
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+namespace omx::core {
+namespace {
+
+struct MvRun {
+  std::unique_ptr<rng::Ledger> ledger;
+  std::unique_ptr<MultiValueMachine> machine;
+  std::unique_ptr<sim::Runner<Msg>> runner;
+  sim::Metrics metrics;
+};
+
+MvRun run_mv(const std::vector<std::uint32_t>& inputs, std::uint32_t bits,
+             std::uint32_t t, sim::Adversary<Msg>* adv, std::uint64_t seed) {
+  MvRun out;
+  const auto n = static_cast<std::uint32_t>(inputs.size());
+  MultiValueConfig cfg;
+  cfg.t = t;
+  cfg.bits = bits;
+  out.ledger = std::make_unique<rng::Ledger>(n, seed);
+  out.machine = std::make_unique<MultiValueMachine>(cfg, inputs);
+  out.runner =
+      std::make_unique<sim::Runner<Msg>>(n, t, out.ledger.get(), adv);
+  out.machine->set_fault_view(&out.runner->faults());
+  out.metrics = out.runner->run(*out.machine).metrics;
+  return out;
+}
+
+class MultiValueSpec
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(MultiValueSpec, AgreementAndStrongValidityUnderOmissions) {
+  const auto [n, seed] = GetParam();
+  const std::uint32_t t = Params::max_t_optimal(n);
+  const std::uint32_t bits = 6;
+  Xoshiro256 gen(seed);
+  std::vector<std::uint32_t> inputs(n);
+  std::set<std::uint32_t> input_set;
+  for (auto& v : inputs) {
+    v = static_cast<std::uint32_t>(gen.below(1u << bits));
+    input_set.insert(v);
+  }
+  adversary::RandomOmissionAdversary<Msg> adv(n, t, 0.9, seed);
+  auto run = run_mv(inputs, bits, t, &adv, seed);
+
+  std::int64_t decision = -1;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (run.runner->faults().is_corrupted(p)) continue;
+    const auto out = run.machine->outcome(p);
+    ASSERT_TRUE(out.decided) << p;
+    if (decision < 0) decision = out.value;
+    EXPECT_EQ(out.value, static_cast<std::uint32_t>(decision)) << p;
+  }
+  ASSERT_GE(decision, 0);
+  // Strong validity: omission-faulty processes follow the protocol, so the
+  // decision must be somebody's actual input.
+  EXPECT_TRUE(input_set.count(static_cast<std::uint32_t>(decision)))
+      << "decision " << decision << " was nobody's input";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MultiValueSpec,
+                         ::testing::Combine(::testing::Values(33u, 64u, 100u),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+TEST(MultiValue, UnanimousInputsDecideThatValueWithZeroCoins) {
+  const std::uint32_t n = 64;
+  std::vector<std::uint32_t> inputs(n, 0b101101u);
+  adversary::SplitBrainAdversary<Msg> adv(n, {1, 7});
+  auto run = run_mv(inputs, 6, 2, &adv, 5);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (run.runner->faults().is_corrupted(p)) continue;
+    EXPECT_EQ(run.machine->outcome(p).value, 0b101101u);
+  }
+  EXPECT_EQ(run.metrics.random_bits, 0u);
+}
+
+TEST(MultiValue, NonFaultyUnanimityBeatsFaultyDissent) {
+  // All non-faulty propose 42; the two faulty propose 13. Validity clause:
+  // the decision must be 42 whatever the adversary does.
+  const std::uint32_t n = 60;
+  std::vector<std::uint32_t> inputs(n, 42);
+  inputs[3] = 13;
+  inputs[9] = 13;
+  adversary::StaticCrashAdversary<Msg> adv({{3, 2}, {9, 0}});
+  auto run = run_mv(inputs, 6, 2, &adv, 7);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (run.runner->faults().is_corrupted(p)) continue;
+    EXPECT_EQ(run.machine->outcome(p).value, 42u);
+  }
+}
+
+TEST(MultiValue, WorksAcrossBitWidths) {
+  for (std::uint32_t bits : {1u, 3u, 12u}) {
+    const std::uint32_t n = 40;
+    Xoshiro256 gen(bits);
+    std::vector<std::uint32_t> inputs(n);
+    const std::uint32_t cap = bits >= 32 ? 0xFFFFFFFFu : (1u << bits);
+    for (auto& v : inputs) v = static_cast<std::uint32_t>(gen.below(cap));
+    adversary::NullAdversary<Msg> adv;
+    auto run = run_mv(inputs, bits, 1, &adv, 3);
+    std::uint32_t decision = run.machine->outcome(0).value;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      EXPECT_EQ(run.machine->outcome(p).value, decision) << "bits=" << bits;
+    }
+    EXPECT_LT(decision, cap);
+  }
+}
+
+TEST(MultiValue, ScheduleIsBitsTimesPhase) {
+  const std::uint32_t n = 64;
+  MultiValueConfig cfg;
+  cfg.t = 2;
+  cfg.bits = 5;
+  std::vector<std::uint32_t> inputs(n, 1);
+  MultiValueMachine machine(cfg, inputs);
+  const std::uint32_t inner =
+      OptimalCore::schedule_length(cfg.params, n, cfg.t, false);
+  EXPECT_EQ(machine.scheduled_rounds(), 5 * (inner + 2));
+}
+
+TEST(MultiValue, RejectsBadInputs) {
+  MultiValueConfig cfg;
+  cfg.bits = 3;
+  std::vector<std::uint32_t> too_big{8};
+  EXPECT_THROW(MultiValueMachine(cfg, too_big), PreconditionError);
+  cfg.bits = 0;
+  std::vector<std::uint32_t> ok{1};
+  EXPECT_THROW(MultiValueMachine(cfg, ok), PreconditionError);
+  cfg.bits = 33;
+  EXPECT_THROW(MultiValueMachine(cfg, ok), PreconditionError);
+}
+
+TEST(MultiValue, CoinHidingStyleChaosStillAgrees) {
+  const std::uint32_t n = 60;
+  const std::uint32_t t = Params::max_t_optimal(n);
+  Xoshiro256 gen(99);
+  std::vector<std::uint32_t> inputs(n);
+  for (auto& v : inputs) v = static_cast<std::uint32_t>(gen.below(16));
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    adversary::ChaosAdversary<Msg> adv(n, seed);
+    auto run = run_mv(inputs, 4, t, &adv, seed);
+    std::int64_t decision = -1;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (run.runner->faults().is_corrupted(p)) continue;
+      const auto out = run.machine->outcome(p);
+      ASSERT_TRUE(out.decided);
+      if (decision < 0) decision = out.value;
+      EXPECT_EQ(out.value, static_cast<std::uint32_t>(decision));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omx::core

@@ -1,0 +1,216 @@
+// Algorithm 1 (OptimalOmissionsConsensus): consensus-spec conformance
+// across adversaries, input patterns and seeds, plus structural behaviour
+// (schedule shape, truncated mode, randomness accounting, degenerate n).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/strategies.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+namespace omx {
+namespace {
+
+using harness::Attack;
+using harness::ExperimentConfig;
+using harness::InputPattern;
+using harness::run_experiment;
+
+struct SpecCase {
+  std::uint32_t n;
+  Attack attack;
+  InputPattern inputs;
+};
+
+class OptimalSpec
+    : public ::testing::TestWithParam<std::tuple<SpecCase, std::uint64_t>> {};
+
+TEST_P(OptimalSpec, AgreementValidityTermination) {
+  const auto [c, seed] = GetParam();
+  ExperimentConfig cfg;
+  cfg.algo = harness::Algo::Optimal;
+  cfg.attack = c.attack;
+  cfg.inputs = c.inputs;
+  cfg.n = c.n;
+  cfg.t = core::Params::max_t_optimal(c.n);
+  cfg.seed = seed;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.agreement) << "agreement violated";
+  EXPECT_TRUE(r.validity) << "validity violated";
+  EXPECT_TRUE(r.all_nonfaulty_decided) << "termination violated";
+  EXPECT_FALSE(r.hit_round_cap);
+  EXPECT_LE(r.corrupted, cfg.t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimalSpec,
+    ::testing::Combine(
+        ::testing::Values(
+            SpecCase{31, Attack::None, InputPattern::Random},
+            SpecCase{64, Attack::None, InputPattern::Half},
+            SpecCase{64, Attack::StaticCrash, InputPattern::Random},
+            SpecCase{64, Attack::RandomOmission, InputPattern::Random},
+            SpecCase{64, Attack::SplitBrain, InputPattern::Half},
+            SpecCase{64, Attack::GroupKiller, InputPattern::Random},
+            SpecCase{64, Attack::CoinHiding, InputPattern::Half},
+            SpecCase{150, Attack::RandomOmission, InputPattern::Random},
+            SpecCase{150, Attack::CoinHiding, InputPattern::Random},
+            SpecCase{150, Attack::SplitBrain, InputPattern::OneDissent},
+            SpecCase{256, Attack::GroupKiller, InputPattern::Half},
+            SpecCase{256, Attack::CoinHiding, InputPattern::Random}),
+        ::testing::Values(1, 2, 3)));
+
+TEST(Optimal, ValidityMeansZeroCoins) {
+  // Unanimous inputs: the proof of Theorem 5 argues no process ever draws
+  // a coin. We check the strongest version of that claim.
+  for (auto pattern : {InputPattern::AllZero, InputPattern::AllOne}) {
+    ExperimentConfig cfg;
+    cfg.n = 128;
+    cfg.t = core::Params::max_t_optimal(cfg.n);
+    cfg.attack = Attack::RandomOmission;
+    cfg.inputs = pattern;
+    cfg.seed = 5;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.metrics.random_bits, 0u);
+    EXPECT_EQ(r.decision, pattern == InputPattern::AllOne ? 1 : 0);
+  }
+}
+
+TEST(Optimal, OneCoinPerProcessPerEpochAtMost) {
+  ExperimentConfig cfg;
+  cfg.n = 128;
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  cfg.inputs = InputPattern::Random;
+  cfg.seed = 3;
+  const auto r = run_experiment(cfg);
+  const core::Params params;
+  const auto epochs = params.epochs(cfg.n, cfg.t);
+  EXPECT_LE(r.metrics.random_bits,
+            static_cast<std::uint64_t>(cfg.n) * epochs);
+  EXPECT_EQ(r.metrics.random_bits, r.metrics.random_calls);
+}
+
+TEST(Optimal, SingleProcessDecidesImmediately) {
+  ExperimentConfig cfg;
+  cfg.n = 1;
+  cfg.t = 0;
+  cfg.inputs = InputPattern::AllOne;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.decision, 1);
+  EXPECT_EQ(r.time_rounds, 1u);
+}
+
+TEST(Optimal, TinyInstances) {
+  for (std::uint32_t n : {2u, 3u, 4u, 5u, 8u}) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = 0;
+    cfg.inputs = InputPattern::Half;
+    cfg.seed = 11;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.ok()) << "n=" << n;
+  }
+}
+
+TEST(Optimal, ScheduleLengthMatchesFormula) {
+  const core::Params params;
+  for (std::uint32_t n : {16u, 64u, 100u, 256u}) {
+    const std::uint32_t t = core::Params::max_t_optimal(n);
+    core::OptimalConfig cfg;
+    cfg.params = params;
+    cfg.t = t;
+    std::vector<std::uint8_t> inputs(n, 0);
+    core::OptimalCore core(cfg, inputs);
+    EXPECT_EQ(core.scheduled_rounds(),
+              core::OptimalCore::schedule_length(params, n, t, false));
+    cfg.truncated = true;
+    core::OptimalCore trunc(cfg, inputs);
+    EXPECT_EQ(trunc.scheduled_rounds(),
+              core::OptimalCore::schedule_length(params, n, t, true));
+    EXPECT_LT(trunc.scheduled_rounds(), core.scheduled_rounds());
+  }
+}
+
+TEST(Optimal, TruncatedModeStopsAtCollectAndReportsOutcomes) {
+  const std::uint32_t n = 64;
+  core::OptimalConfig mc;
+  mc.t = core::Params::max_t_optimal(n);
+  mc.truncated = true;
+  auto inputs = harness::make_inputs(InputPattern::Half, n, 1);
+  core::OptimalMachine machine(mc, inputs);
+  rng::Ledger ledger(n, 9);
+  adversary::NullAdversary<core::Msg> adv;
+  sim::Runner<core::Msg> runner(n, mc.t, &ledger, &adv);
+  const auto rr = runner.run(machine);
+  EXPECT_LE(rr.metrics.rounds, machine.core().scheduled_rounds());
+  // Fault-free truncated run: everyone ends with the same value.
+  std::uint8_t v = machine.core().outcome(0).value;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const auto out = machine.core().outcome(p);
+    EXPECT_TRUE(out.has_value) << p;
+    EXPECT_EQ(out.value, v) << p;
+  }
+}
+
+TEST(Optimal, EpochHistoryHasOneEntryPerEpoch) {
+  const std::uint32_t n = 100;
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.t = core::Params::max_t_optimal(n);
+  cfg.inputs = InputPattern::Random;
+
+  core::OptimalConfig mc;
+  mc.t = cfg.t;
+  auto inputs = harness::make_inputs(cfg.inputs, n, cfg.seed);
+  core::OptimalMachine machine(mc, inputs);
+  rng::Ledger ledger(n, cfg.seed);
+  adversary::NullAdversary<core::Msg> adv;
+  sim::Runner<core::Msg> runner(n, cfg.t, &ledger, &adv);
+  machine.set_fault_view(&runner.faults());
+  runner.run(machine);
+  EXPECT_EQ(machine.core().operative_history().size(),
+            machine.core().epochs_total());
+  // Fault-free: everybody stays operative in every epoch.
+  for (auto count : machine.core().operative_history()) {
+    EXPECT_EQ(count, n);
+  }
+}
+
+TEST(Optimal, DecisionRoundsAreConsistentWithTime) {
+  ExperimentConfig cfg;
+  cfg.n = 64;
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  cfg.attack = Attack::StaticCrash;
+  cfg.inputs = InputPattern::Random;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_LE(r.time_rounds, r.metrics.rounds + 1);
+  EXPECT_GE(r.time_rounds, 1u);
+}
+
+TEST(Optimal, RejectsNonBitInputs) {
+  core::OptimalConfig mc;
+  std::vector<std::uint8_t> bad{0, 2};
+  EXPECT_THROW(core::OptimalCore(mc, bad), PreconditionError);
+}
+
+TEST(Optimal, PaperParamsOnSmallInstance) {
+  // Paper constants make the graph complete at small n — still correct.
+  ExperimentConfig cfg;
+  cfg.n = 64;
+  cfg.t = 2;
+  cfg.params = core::Params::paper();
+  cfg.inputs = InputPattern::Half;
+  cfg.attack = Attack::RandomOmission;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace omx

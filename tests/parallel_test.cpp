@@ -1,0 +1,63 @@
+// expsup::parallel_map: order preservation, determinism, and equivalence
+// with serial execution for real experiment workloads.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/params.h"
+#include "expsup/parallel.h"
+#include "harness/experiment.h"
+
+namespace omx::expsup {
+namespace {
+
+TEST(Parallel, PreservesInputOrder) {
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  const auto out = parallel_map(items, [](int x) { return x * x; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(Parallel, EmptyInput) {
+  std::vector<int> items;
+  const auto out = parallel_map(items, [](int x) { return x; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Parallel, WorkerCountBounds) {
+  EXPECT_EQ(worker_count(0), 1u);
+  EXPECT_GE(worker_count(1), 1u);
+  EXPECT_LE(worker_count(1), 1u);
+  EXPECT_GE(worker_count(1000), 1u);
+}
+
+TEST(Parallel, ExperimentRunsMatchSerialExactly) {
+  // The property the bench harness relies on: parallelism never changes a
+  // measured number.
+  std::vector<harness::ExperimentConfig> configs;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    harness::ExperimentConfig cfg;
+    cfg.n = 64;
+    cfg.t = core::Params::max_t_optimal(64);
+    cfg.attack = harness::Attack::RandomOmission;
+    cfg.inputs = harness::InputPattern::Alternating;
+    cfg.seed = seed;
+    configs.push_back(cfg);
+  }
+  const auto par = parallel_map(configs, [](const auto& cfg) {
+    return harness::run_experiment(cfg);
+  });
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto ser = harness::run_experiment(configs[i]);
+    EXPECT_EQ(par[i].metrics.comm_bits, ser.metrics.comm_bits);
+    EXPECT_EQ(par[i].metrics.random_bits, ser.metrics.random_bits);
+    EXPECT_EQ(par[i].time_rounds, ser.time_rounds);
+    EXPECT_EQ(par[i].decision, ser.decision);
+  }
+}
+
+}  // namespace
+}  // namespace omx::expsup

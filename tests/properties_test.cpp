@@ -1,0 +1,246 @@
+// Property suites for the paper's structural lemmas, checked on real
+// executions under every adversary:
+//   * Lemma 7: >= n - 3t processes stay operative at every epoch end.
+//   * Lemma 8 corollary (used in Lemma 11): the (ones, zeros) estimates of
+//     any two end-operative processes differ by at most 4t.
+//   * Lemma 11 safety: if any operative process decided, every operative
+//     process holds the same candidate value.
+//   * Determinism: a run is a pure function of (config, seed).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+
+#include "adversary/strategies.h"
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "groups/partition.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "sim/runner.h"
+
+namespace omx {
+namespace {
+
+using harness::Attack;
+
+struct Run {
+  std::unique_ptr<core::OptimalMachine> machine;
+  sim::Metrics metrics;
+  std::uint32_t t = 0;
+  std::uint32_t n = 0;
+};
+
+Run run_optimal(std::uint32_t n, Attack attack, std::uint64_t seed) {
+  Run out;
+  out.n = n;
+  out.t = core::Params::max_t_optimal(n);
+  core::OptimalConfig mc;
+  mc.t = out.t;
+  auto inputs = harness::make_inputs(harness::InputPattern::Random, n, seed);
+  out.machine = std::make_unique<core::OptimalMachine>(mc, inputs);
+
+  rng::Ledger ledger(n, seed);
+  std::unique_ptr<sim::Adversary<core::Msg>> adv;
+  switch (attack) {
+    case Attack::RandomOmission:
+      adv = std::make_unique<adversary::RandomOmissionAdversary<core::Msg>>(
+          n, out.t, 0.9, seed);
+      break;
+    case Attack::SplitBrain: {
+      std::vector<sim::ProcessId> faulty;
+      for (std::uint32_t i = 0; i < out.t; ++i) faulty.push_back(i * 5 % n);
+      adv = std::make_unique<adversary::SplitBrainAdversary<core::Msg>>(
+          n, std::move(faulty));
+      break;
+    }
+    case Attack::GroupKiller: {
+      groups::SqrtPartition part(n);
+      std::vector<std::vector<sim::ProcessId>> gs;
+      for (std::uint32_t g = 0; g < part.num_groups(); ++g) {
+        gs.emplace_back(part.members(g).begin(), part.members(g).end());
+      }
+      adv = std::make_unique<adversary::GroupKillerAdversary<core::Msg>>(
+          std::move(gs));
+      break;
+    }
+    case Attack::CoinHiding:
+      adv = std::make_unique<adversary::CoinHidingAdversary<core::Msg>>(
+          out.machine.get(), &ledger);
+      break;
+    default:
+      adv = std::make_unique<adversary::NullAdversary<core::Msg>>();
+      break;
+  }
+  sim::Runner<core::Msg> runner(n, out.t, &ledger, adv.get());
+  out.machine->set_fault_view(&runner.faults());
+  out.metrics = runner.run(*out.machine).metrics;
+  return out;
+}
+
+class LemmaProperties
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, Attack,
+                                                 std::uint64_t>> {};
+
+TEST_P(LemmaProperties, OperativeCountNeverBelowNMinus3T) {
+  const auto [n, attack, seed] = GetParam();
+  const auto run = run_optimal(n, attack, seed);
+  const auto& history = run.machine->core().operative_history();
+  ASSERT_FALSE(history.empty());
+  for (std::size_t e = 0; e < history.size(); ++e) {
+    EXPECT_GE(history[e] + 3 * run.t, n)
+        << "Lemma 7 violated in epoch " << e;
+  }
+  // Operative counts are monotone non-increasing (status is permanent).
+  for (std::size_t e = 1; e < history.size(); ++e) {
+    EXPECT_LE(history[e], history[e - 1]);
+  }
+}
+
+TEST_P(LemmaProperties, EstimateDivergenceBoundedBy4T) {
+  const auto [n, attack, seed] = GetParam();
+  const auto run = run_optimal(n, attack, seed);
+  const auto& core = run.machine->core();
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> reference;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (!core.operative(p)) continue;
+    const auto est = core.last_estimate(p);
+    if (!est) continue;
+    if (!reference) {
+      reference = est;
+      continue;
+    }
+    const auto d1 = est->first > reference->first
+                        ? est->first - reference->first
+                        : reference->first - est->first;
+    const auto d2 = est->second > reference->second
+                        ? est->second - reference->second
+                        : reference->second - est->second;
+    EXPECT_LE(d1, 4 * run.t) << "ones estimates diverged beyond Lemma 8";
+    EXPECT_LE(d2, 4 * run.t) << "zeros estimates diverged beyond Lemma 8";
+  }
+}
+
+TEST_P(LemmaProperties, DecidedImpliesUnifiedOperativeValues) {
+  const auto [n, attack, seed] = GetParam();
+  const auto run = run_optimal(n, attack, seed);
+  const auto& core = run.machine->core();
+  bool any_decided = false;
+  std::uint8_t decided_value = 0;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (core.operative(p) && core.decided_flag(p)) {
+      any_decided = true;
+      decided_value = core.value_of(p);
+      break;
+    }
+  }
+  if (!any_decided) GTEST_SKIP() << "no operative decider in this run";
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (core.operative(p)) {
+      EXPECT_EQ(core.value_of(p), decided_value)
+          << "Lemma 11 violated at process " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LemmaProperties,
+    ::testing::Combine(::testing::Values(64u, 128u, 200u),
+                       ::testing::Values(Attack::None, Attack::RandomOmission,
+                                         Attack::SplitBrain,
+                                         Attack::GroupKiller,
+                                         Attack::CoinHiding),
+                       ::testing::Values(1u, 2u)));
+
+TEST(Determinism, SameSeedSameExecution) {
+  harness::ExperimentConfig cfg;
+  cfg.n = 100;
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  cfg.attack = Attack::RandomOmission;
+  cfg.inputs = harness::InputPattern::Random;
+  cfg.seed = 77;
+  const auto a = harness::run_experiment(cfg);
+  const auto b = harness::run_experiment(cfg);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+  EXPECT_EQ(a.metrics.comm_bits, b.metrics.comm_bits);
+  EXPECT_EQ(a.metrics.random_bits, b.metrics.random_bits);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.time_rounds, b.time_rounds);
+}
+
+TEST(Determinism, SeedChangesExecution) {
+  harness::ExperimentConfig cfg;
+  cfg.n = 100;
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  cfg.inputs = harness::InputPattern::Random;
+  cfg.seed = 1;
+  const auto a = harness::run_experiment(cfg);
+  cfg.seed = 2;
+  const auto b = harness::run_experiment(cfg);
+  // Different inputs/coins: bit totals virtually never coincide exactly.
+  EXPECT_NE(a.metrics.comm_bits, b.metrics.comm_bits);
+}
+
+TEST(RandomnessAccounting, MetricsMatchLedger) {
+  const std::uint32_t n = 80;
+  const std::uint32_t t = core::Params::max_t_optimal(n);
+  core::OptimalConfig mc;
+  mc.t = t;
+  auto inputs = harness::make_inputs(harness::InputPattern::Random, n, 3);
+  core::OptimalMachine machine(mc, inputs);
+  rng::Ledger ledger(n, 3);
+  adversary::NullAdversary<core::Msg> adv;
+  sim::Runner<core::Msg> runner(n, t, &ledger, &adv);
+  machine.set_fault_view(&runner.faults());
+  const auto rr = runner.run(machine);
+  EXPECT_EQ(rr.metrics.random_bits, ledger.bits());
+  EXPECT_EQ(rr.metrics.random_calls, ledger.calls());
+}
+
+class ChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosFuzz, SpecHoldsUnderRandomLegalAdversaries) {
+  // The ChaosAdversary walks the space of legal strategies at random; the
+  // probability-1 spec clauses must hold on every walk.
+  const std::uint64_t seed = GetParam();
+  for (auto algo : {harness::Algo::Optimal, harness::Algo::Param,
+                    harness::Algo::FloodSet}) {
+    harness::ExperimentConfig cfg;
+    cfg.algo = algo;
+    cfg.attack = harness::Attack::Chaos;
+    cfg.n = 90;
+    cfg.x = 3;
+    cfg.t = algo == harness::Algo::Param
+                ? core::Params::max_t_param(cfg.n)
+                : core::Params::max_t_optimal(cfg.n);
+    cfg.inputs = harness::InputPattern::Random;
+    cfg.seed = seed;
+    const auto r = harness::run_experiment(cfg);
+    EXPECT_TRUE(r.agreement) << harness::to_string(algo) << " seed " << seed;
+    EXPECT_TRUE(r.validity) << harness::to_string(algo) << " seed " << seed;
+    EXPECT_TRUE(r.all_nonfaulty_decided)
+        << harness::to_string(algo) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(BudgetedRandomness, DegradesDeterministicallyAndStaysCorrect) {
+  for (std::uint64_t budget : {0ull, 16ull, 1000000ull}) {
+    harness::ExperimentConfig cfg;
+    cfg.n = 128;
+    cfg.t = core::Params::max_t_optimal(cfg.n);
+    cfg.attack = Attack::RandomOmission;
+    cfg.inputs = harness::InputPattern::Random;
+    cfg.random_bit_budget = budget;
+    cfg.seed = 9;
+    const auto r = harness::run_experiment(cfg);
+    EXPECT_TRUE(r.ok()) << "budget=" << budget;
+    EXPECT_LE(r.metrics.random_bits, budget);
+  }
+}
+
+}  // namespace
+}  // namespace omx

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "rng/ledger.h"
+#include "support/check.h"
+
+namespace omx::rng {
+namespace {
+
+TEST(Ledger, CountsCallsAndBits) {
+  Ledger ledger(4, 1);
+  EXPECT_EQ(ledger.calls(), 0u);
+  EXPECT_EQ(ledger.bits(), 0u);
+  ledger.source(0).draw_bit();
+  EXPECT_EQ(ledger.calls(), 1u);
+  EXPECT_EQ(ledger.bits(), 1u);
+  ledger.source(1).draw_bits(17);
+  EXPECT_EQ(ledger.calls(), 2u);
+  EXPECT_EQ(ledger.bits(), 18u);
+}
+
+TEST(Ledger, PerProcessStreamsAreIndependentAndDeterministic) {
+  Ledger a(2, 99), b(2, 99), c(2, 100);
+  bool same_seed_same = true, diff_proc_differ = false, diff_seed_differ = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto a0 = a.source(0).draw_bits(64);
+    const auto a1 = a.source(1).draw_bits(64);
+    const auto b0 = b.source(0).draw_bits(64);
+    const auto c0 = c.source(0).draw_bits(64);
+    if (a0 != b0) same_seed_same = false;
+    if (a0 != a1) diff_proc_differ = true;
+    if (a0 != c0) diff_seed_differ = true;
+  }
+  EXPECT_TRUE(same_seed_same);
+  EXPECT_TRUE(diff_proc_differ);
+  EXPECT_TRUE(diff_seed_differ);
+}
+
+TEST(Ledger, BitBudgetEnforced) {
+  Ledger ledger(2, 5);
+  ledger.set_bit_budget(3);
+  auto& s = ledger.source(0);
+  EXPECT_TRUE(s.can_draw(1));
+  EXPECT_TRUE(s.can_draw(3));
+  EXPECT_FALSE(s.can_draw(4));
+  s.draw_bit();
+  s.draw_bit();
+  s.draw_bit();
+  EXPECT_FALSE(s.can_draw(1));
+  EXPECT_THROW(s.draw_bit(), BudgetExhausted);
+  EXPECT_EQ(ledger.bits(), 3u);  // failed draw not billed
+}
+
+TEST(Ledger, CallBudgetEnforced) {
+  Ledger ledger(1, 5);
+  ledger.set_call_budget(2);
+  auto& s = ledger.source(0);
+  s.draw_bits(10);
+  s.draw_bits(10);
+  EXPECT_FALSE(s.can_draw(1));
+  EXPECT_THROW(s.draw_bit(), BudgetExhausted);
+  EXPECT_EQ(ledger.calls(), 2u);
+}
+
+TEST(Ledger, RoundWindowCounting) {
+  Ledger ledger(3, 8);
+  ledger.begin_round_window();
+  EXPECT_EQ(ledger.calls_this_window(), 0u);
+  ledger.source(0).draw_bit();
+  ledger.source(2).draw_bit();
+  EXPECT_EQ(ledger.calls_this_window(), 2u);
+  ledger.begin_round_window();
+  EXPECT_EQ(ledger.calls_this_window(), 0u);
+  ledger.source(1).draw_bit();
+  EXPECT_EQ(ledger.calls_this_window(), 1u);
+}
+
+TEST(Ledger, DrawBitsValidatesWidth) {
+  Ledger ledger(1, 3);
+  EXPECT_THROW(ledger.source(0).draw_bits(0), PreconditionError);
+  EXPECT_THROW(ledger.source(0).draw_bits(65), PreconditionError);
+  EXPECT_NO_THROW(ledger.source(0).draw_bits(64));
+}
+
+TEST(Ledger, SourceOutOfRangeThrows) {
+  Ledger ledger(2, 3);
+  EXPECT_THROW(ledger.source(2), PreconditionError);
+}
+
+TEST(Ledger, BitsAreNotWildlyBiased) {
+  Ledger ledger(1, 1234);
+  auto& s = ledger.source(0);
+  int ones = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ones += s.draw_bit() ? 1 : 0;
+  EXPECT_NEAR(ones, trials / 2, trials / 20);
+}
+
+}  // namespace
+}  // namespace omx::rng

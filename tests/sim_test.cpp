@@ -1,0 +1,194 @@
+// Engine semantics: round structure, delivery, bit accounting, adversary
+// legality enforcement, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversary/strategies.h"
+#include "rng/ledger.h"
+#include "sim/adversary.h"
+#include "sim/runner.h"
+
+namespace omx::sim {
+namespace {
+
+struct Ping {
+  std::uint32_t value = 0;
+  std::uint64_t bit_size() const { return 8; }
+};
+
+/// Every process sends its id+round to the next process (mod n) for
+/// `rounds` rounds and records what it receives.
+class RingMachine final : public Machine<Ping> {
+ public:
+  RingMachine(std::uint32_t n, std::uint32_t rounds) : n_(n), rounds_(rounds) {
+    received_.resize(n);
+  }
+
+  std::uint32_t num_processes() const override { return n_; }
+  void begin_round(std::uint32_t round) override { cur_ = round; }
+  void round(ProcessId p, RoundIo<Ping>& io) override {
+    for (const auto& m : io.inbox()) {
+      received_[p].push_back(m.payload.value);
+    }
+    if (cur_ < rounds_) {
+      io.send((p + 1) % n_, Ping{p * 1000 + cur_});
+    }
+  }
+  bool finished() const override { return cur_ + 1 > rounds_; }
+
+  std::uint32_t cur_ = 0;
+  std::uint32_t n_;
+  std::uint32_t rounds_;
+  std::vector<std::vector<std::uint32_t>> received_;
+};
+
+TEST(Runner, DeliversNextRoundInOrder) {
+  rng::Ledger ledger(4, 1);
+  adversary::NullAdversary<Ping> adv;
+  Runner<Ping> runner(4, 0, &ledger, &adv);
+  RingMachine m(4, 3);
+  const auto rr = runner.run(m);
+  EXPECT_FALSE(rr.hit_round_cap);
+  // Process 1 hears from process 0 in rounds 1..3: values 0*1000+{0,1,2}.
+  EXPECT_EQ(m.received_[1], (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(m.received_[0], (std::vector<std::uint32_t>{3000, 3001, 3002}));
+}
+
+TEST(Runner, CountsMessagesAndBits) {
+  rng::Ledger ledger(4, 1);
+  adversary::NullAdversary<Ping> adv;
+  Runner<Ping> runner(4, 0, &ledger, &adv);
+  RingMachine m(4, 3);
+  const auto rr = runner.run(m);
+  EXPECT_EQ(rr.metrics.messages, 12u);   // 4 processes x 3 rounds
+  EXPECT_EQ(rr.metrics.comm_bits, 96u);  // 8 bits each
+  EXPECT_EQ(rr.metrics.rounds, 4u);      // 3 send rounds + final delivery
+  EXPECT_EQ(rr.metrics.random_calls, 0u);
+}
+
+TEST(Runner, RoundCapReported) {
+  rng::Ledger ledger(2, 1);
+  adversary::NullAdversary<Ping> adv;
+  Runner<Ping>::Options opts;
+  opts.max_rounds = 2;
+  Runner<Ping> runner(2, 0, &ledger, &adv, opts);
+  RingMachine m(2, 100);
+  const auto rr = runner.run(m);
+  EXPECT_TRUE(rr.hit_round_cap);
+  EXPECT_EQ(rr.metrics.rounds, 2u);
+}
+
+/// Adversary that drops every message from process 0 after corrupting it.
+class DropZero final : public Adversary<Ping> {
+ public:
+  void intervene(AdversaryContext<Ping>& ctx) override {
+    ctx.corrupt(0);
+    ctx.silence(0);
+  }
+};
+
+TEST(Runner, OmittedMessagesCountAsSentButNotDelivered) {
+  rng::Ledger ledger(4, 1);
+  DropZero adv;
+  Runner<Ping> runner(4, 1, &ledger, &adv);
+  RingMachine m(4, 2);
+  const auto rr = runner.run(m);
+  EXPECT_EQ(rr.metrics.messages, 8u);
+  EXPECT_EQ(rr.metrics.omitted, 4u);  // 0's out + 3's in (to 0) per round
+  EXPECT_TRUE(m.received_[1].empty());  // 0 -> 1 all dropped
+  EXPECT_EQ(m.received_[2].size(), 2u);
+  EXPECT_EQ(rr.metrics.corrupted, 1u);
+}
+
+class IllegalDropper final : public Adversary<Ping> {
+ public:
+  void intervene(AdversaryContext<Ping>& ctx) override {
+    if (!ctx.messages().empty()) ctx.drop(0);  // nothing corrupted: illegal
+  }
+};
+
+TEST(Runner, IllegalDropThrows) {
+  rng::Ledger ledger(3, 1);
+  IllegalDropper adv;
+  Runner<Ping> runner(3, 1, &ledger, &adv);
+  RingMachine m(3, 2);
+  EXPECT_THROW(runner.run(m), AdversaryViolation);
+}
+
+/// Sends to itself; adversary tries to drop the self-delivery.
+class SelfSendMachine final : public Machine<Ping> {
+ public:
+  std::uint32_t num_processes() const override { return 2; }
+  void begin_round(std::uint32_t r) override { cur_ = r; }
+  void round(ProcessId p, RoundIo<Ping>& io) override {
+    if (cur_ == 0) io.send(p, Ping{p});
+  }
+  bool finished() const override { return cur_ >= 1; }
+  std::uint32_t cur_ = 0;
+};
+
+class SelfDropper final : public Adversary<Ping> {
+ public:
+  void intervene(AdversaryContext<Ping>& ctx) override {
+    if (ctx.messages().empty()) return;
+    ctx.corrupt(0);
+    ctx.drop(0);  // message 0 is 0 -> 0: self-delivery, must throw
+  }
+};
+
+TEST(Runner, SelfDeliveryCannotBeDropped) {
+  rng::Ledger ledger(2, 1);
+  SelfDropper adv;
+  Runner<Ping> runner(2, 1, &ledger, &adv);
+  SelfSendMachine m;
+  EXPECT_THROW(runner.run(m), AdversaryViolation);
+}
+
+TEST(FaultState, BudgetEnforced) {
+  FaultState faults(5, 2);
+  EXPECT_TRUE(faults.corrupt(0));
+  EXPECT_TRUE(faults.corrupt(0));  // idempotent, free
+  EXPECT_TRUE(faults.corrupt(3));
+  EXPECT_FALSE(faults.corrupt(4));  // budget exhausted
+  EXPECT_EQ(faults.num_corrupted(), 2u);
+  EXPECT_TRUE(faults.is_corrupted(0));
+  EXPECT_FALSE(faults.is_corrupted(4));
+  EXPECT_EQ(faults.remaining_budget(), 0u);
+}
+
+/// Machine that flips coins: checks the runner bills randomness.
+class CoinMachine final : public Machine<Ping> {
+ public:
+  std::uint32_t num_processes() const override { return 3; }
+  void begin_round(std::uint32_t r) override { cur_ = r; }
+  void round(ProcessId, RoundIo<Ping>& io) override {
+    if (cur_ == 0) io.rng().draw_bit();
+  }
+  bool finished() const override { return cur_ >= 1; }
+  std::uint32_t cur_ = 0;
+};
+
+TEST(Runner, RandomnessBilledToMetrics) {
+  rng::Ledger ledger(3, 1);
+  adversary::NullAdversary<Ping> adv;
+  Runner<Ping> runner(3, 0, &ledger, &adv);
+  CoinMachine m;
+  const auto rr = runner.run(m);
+  EXPECT_EQ(rr.metrics.random_calls, 3u);
+  EXPECT_EQ(rr.metrics.random_bits, 3u);
+  EXPECT_EQ(ledger.calls(), 3u);
+}
+
+TEST(Runner, RequiresMatchingSizes) {
+  rng::Ledger ledger(4, 1);
+  adversary::NullAdversary<Ping> adv;
+  Runner<Ping> runner(3, 0, &ledger, &adv);
+  RingMachine m(4, 1);
+  EXPECT_THROW(runner.run(m), PreconditionError);
+  rng::Ledger small(2, 1);
+  EXPECT_THROW(Runner<Ping>(3, 0, &small, &adv), PreconditionError);
+}
+
+}  // namespace
+}  // namespace omx::sim

@@ -1,0 +1,155 @@
+// Statistical properties of the randomized dynamics, measured over many
+// seeds: per-epoch unification probability, the asymmetric resolution of
+// dead-zone instances, whp-termination without the fallback, and coin
+// fairness at the protocol level.
+#include <gtest/gtest.h>
+
+#include "core/optimal_core.h"
+#include "core/params.h"
+#include "harness/experiment.h"
+
+namespace omx {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::InputPattern;
+using harness::run_experiment;
+
+TEST(Statistics, MostRunsDecideWithoutTheFallback) {
+  // The whp claim, empirically: with the practical epoch budget the
+  // deterministic tail should be rare even on the hard (dead-zone) instance.
+  const std::uint32_t n = 64;
+  const std::uint32_t t = core::Params::max_t_optimal(n);
+  const std::uint32_t seeds = 60;
+  const std::uint32_t horizon =
+      core::OptimalCore::schedule_length(core::Params::practical(), n, t,
+                                         /*truncated=*/true) + 1;
+  std::uint32_t fallbacks = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = t;
+    cfg.inputs = InputPattern::Alternating;
+    cfg.seed = seed * 101;
+    const auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.ok());
+    fallbacks += r.time_rounds > horizon;
+  }
+  EXPECT_LE(fallbacks, seeds / 6)
+      << "fallback rate far above the whp expectation";
+}
+
+TEST(Statistics, DeadZoneResolvesAsymmetricallyToZero) {
+  // Figure 3 geometry: from the coin region the walk exits almost surely
+  // downward at laptop n (an upward exit needs a +10%-of-n deviation).
+  const std::uint32_t n = 64;
+  const std::uint32_t seeds = 60;
+  std::uint32_t ones_decisions = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = core::Params::max_t_optimal(n);
+    cfg.inputs = InputPattern::Alternating;  // exactly 50%: coin region
+    cfg.seed = seed * 77;
+    const auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.ok());
+    ones_decisions += r.decision;
+  }
+  EXPECT_LE(ones_decisions, seeds / 5);
+}
+
+TEST(Statistics, CoinEpochsFollowGeometricTail) {
+  // Each coin epoch escapes the dead zone with probability ~1/2, so the
+  // number of coin epochs (measured as coins drawn / n) should average
+  // around 2 and rarely exceed 6.
+  const std::uint32_t n = 64;
+  const std::uint32_t seeds = 60;
+  double total_epochs = 0;
+  std::uint32_t long_tails = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = core::Params::max_t_optimal(n);
+    cfg.inputs = InputPattern::Alternating;
+    cfg.seed = seed * 13;
+    const auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.ok());
+    const double coin_epochs =
+        static_cast<double>(r.metrics.random_bits) / n;
+    total_epochs += coin_epochs;
+    long_tails += coin_epochs > 6.0;
+  }
+  const double mean = total_epochs / seeds;
+  EXPECT_GT(mean, 0.9);   // the first epoch always flips at exactly 50%
+  EXPECT_LT(mean, 4.0);   // geometric with p ~ 1/2
+  EXPECT_LE(long_tails, seeds / 8);
+}
+
+TEST(Statistics, DecisionTimeConcentratesUnderAttack) {
+  // Under the coin-hiding adversary the decision still lands within the
+  // scheduled horizon in (almost) every run: the adversary's budget t
+  // buys only ~t/(sqrt(n)/2) extra coin epochs.
+  const std::uint32_t n = 128;
+  const std::uint32_t t = core::Params::max_t_optimal(n);
+  const std::uint32_t seeds = 30;
+  std::uint32_t capped = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = t;
+    cfg.attack = harness::Attack::CoinHiding;
+    cfg.inputs = InputPattern::Alternating;
+    cfg.seed = seed * 31;
+    const auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.ok());
+    capped += r.hit_round_cap;
+  }
+  EXPECT_EQ(capped, 0u);
+}
+
+TEST(Statistics, RandomInputsOftenSkipTheCoinEntirely) {
+  // Binomial inputs land outside [15/30, 18/30] with constant probability;
+  // those runs draw zero random bits (deterministic epoch-1 unification).
+  const std::uint32_t n = 100;
+  const std::uint32_t seeds = 40;
+  std::uint32_t coinless = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = core::Params::max_t_optimal(n);
+    cfg.inputs = InputPattern::Random;
+    cfg.seed = seed * 17;
+    const auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.ok());
+    coinless += r.metrics.random_bits == 0;
+  }
+  EXPECT_GT(coinless, seeds / 4);
+  EXPECT_LT(coinless, seeds);  // and the dead zone does get hit sometimes
+}
+
+TEST(Statistics, EarlyDecideTimeTracksCoinEpochs) {
+  // With early_decide, decision time ≈ (coin epochs + 2) · epoch length —
+  // check the correlation on aggregate.
+  const std::uint32_t n = 64;
+  const std::uint32_t seeds = 30;
+  double sum_pred = 0, sum_meas = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.t = core::Params::max_t_optimal(n);
+    cfg.inputs = InputPattern::Alternating;
+    cfg.params.early_decide = true;
+    cfg.seed = seed * 29;
+    const auto r = run_experiment(cfg);
+    ASSERT_TRUE(r.ok());
+    core::OptimalConfig mc;
+    mc.t = cfg.t;
+    const double ep = 27.0;  // epoch rounds at n=64 (3*(L-1)+S = 9+18)
+    sum_pred += (static_cast<double>(r.metrics.random_bits) / n + 2.0) * ep;
+    sum_meas += static_cast<double>(r.time_rounds);
+  }
+  EXPECT_NEAR(sum_meas / seeds, sum_pred / seeds, 30.0);
+}
+
+}  // namespace
+}  // namespace omx

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/bits.h"
+#include "support/check.h"
+#include "support/prng.h"
+#include "support/stats.h"
+
+namespace omx {
+namespace {
+
+TEST(Check, RequireThrowsPrecondition) {
+  EXPECT_THROW(OMX_REQUIRE(false, "boom"), PreconditionError);
+  EXPECT_NO_THROW(OMX_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsInvariant) {
+  EXPECT_THROW(OMX_CHECK(false, "boom"), InvariantError);
+  EXPECT_NO_THROW(OMX_CHECK(true, "fine"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    OMX_CHECK(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Bits, FieldBits) {
+  EXPECT_EQ(field_bits(0), 1u);
+  EXPECT_EQ(field_bits(1), 1u);
+  EXPECT_EQ(field_bits(2), 2u);
+  EXPECT_EQ(field_bits(3), 2u);
+  EXPECT_EQ(field_bits(255), 8u);
+  EXPECT_EQ(field_bits(256), 9u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1023), 31u);
+  EXPECT_EQ(isqrt(1024), 32u);
+  for (std::uint64_t x = 0; x < 3000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+}
+
+TEST(Prng, DeterministicStreams) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool differed = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Xoshiro256 gen(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(gen.below(bound), bound);
+    }
+  }
+  EXPECT_THROW(gen.below(0), PreconditionError);
+}
+
+TEST(Prng, BelowIsRoughlyUniform) {
+  Xoshiro256 gen(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[gen.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 100);  // within 10% relative
+  }
+}
+
+TEST(Prng, Uniform01InRange) {
+  Xoshiro256 gen(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Prng, Mix64SeparatesStreams) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1, 2), mix64(1, 3));
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile_of(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_of(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_of(v, 0.25), 2.0);
+  EXPECT_THROW(quantile_of({}, 0.5), PreconditionError);
+  EXPECT_THROW(quantile_of({1.0}, 1.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace omx

@@ -1,0 +1,120 @@
+// Valency explorer: exhaustive model-checking of the flood-set game and
+// the Lemma 13 classification on small instances.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "support/check.h"
+#include "valency/explorer.h"
+
+namespace omx::valency {
+namespace {
+
+class ExhaustiveCheck
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(ExhaustiveCheck, EveryCrashStrategyPreservesAgreementAndValidity) {
+  const auto [n, t] = GetParam();
+  GameConfig cfg{n, t, 0};
+  const auto c = census(cfg);
+  EXPECT_TRUE(c.all_agree)
+      << "flood-set agreement violated by some adversary strategy";
+  EXPECT_TRUE(c.all_valid);
+  EXPECT_EQ(c.univalent_0 + c.univalent_1 + c.bivalent, 1u << n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ExhaustiveCheck,
+                         ::testing::Values(std::make_tuple(2u, 1u),
+                                           std::make_tuple(3u, 1u),
+                                           std::make_tuple(3u, 2u),
+                                           std::make_tuple(4u, 1u),
+                                           std::make_tuple(4u, 2u),
+                                           std::make_tuple(5u, 1u)));
+
+TEST(Valency, Lemma13BivalentAssignmentExists) {
+  // Lemma 13 (deterministic analog): with one corruptible process, some
+  // input assignment is not univalent.
+  for (std::uint32_t n : {3u, 4u, 5u}) {
+    GameConfig cfg{n, 1, 0};
+    const auto c = census(cfg);
+    EXPECT_GT(c.bivalent, 0u) << "n=" << n;
+  }
+}
+
+TEST(Valency, UnanimousAssignmentsAreUnivalent) {
+  for (std::uint32_t n : {3u, 4u}) {
+    GameConfig cfg{n, 1, 0};
+    const auto zeros = explore(cfg, std::vector<std::uint8_t>(n, 0));
+    EXPECT_TRUE(zeros.can_decide_0);
+    EXPECT_FALSE(zeros.can_decide_1);
+    const auto ones = explore(cfg, std::vector<std::uint8_t>(n, 1));
+    EXPECT_TRUE(ones.can_decide_1);
+    EXPECT_FALSE(ones.can_decide_0);
+  }
+}
+
+TEST(Valency, KnownBivalentInstance) {
+  // n=3, inputs (0,1,1): crash a 1-voter before it speaks -> survivors see
+  // {0,1}, tie -> 0; no crash -> majority 1. Classic bivalence.
+  GameConfig cfg{3, 1, 0};
+  const auto r = explore(cfg, {0, 1, 1});
+  EXPECT_TRUE(r.bivalent());
+  EXPECT_TRUE(r.agreement);
+}
+
+TEST(Valency, SingleDissenterCannotFlipLargeMajority) {
+  // n=5, t=1, inputs (0,1,1,1,1): hiding one process changes the count to
+  // (0 vs 3) at worst — still majority 1. Univalent.
+  GameConfig cfg{5, 1, 0};
+  const auto r = explore(cfg, {0, 1, 1, 1, 1});
+  EXPECT_FALSE(r.can_decide_0);
+  EXPECT_TRUE(r.can_decide_1);
+}
+
+TEST(Valency, MoreFaultsMeanMoreBivalence) {
+  GameConfig one{3, 1, 0};
+  GameConfig two{3, 2, 0};
+  EXPECT_GT(census(two).bivalent, census(one).bivalent);
+}
+
+TEST(Valency, TooFewRoundsBreakAgreement) {
+  // The t+1-round bound is tight: with only t rounds, a value can be
+  // smuggled to a strict subset of survivors in the final round.
+  GameConfig cfg{4, 2, 2};  // 2 rounds < t+1 = 3
+  bool violated = false;
+  for (std::uint32_t a = 0; a < 16 && !violated; ++a) {
+    std::vector<std::uint8_t> inputs{
+        static_cast<std::uint8_t>(a & 1), static_cast<std::uint8_t>((a >> 1) & 1),
+        static_cast<std::uint8_t>((a >> 2) & 1),
+        static_cast<std::uint8_t>((a >> 3) & 1)};
+    violated = !explore(cfg, inputs).agreement;
+  }
+  EXPECT_TRUE(violated) << "t rounds should not suffice for agreement";
+}
+
+TEST(Valency, ExtraRoundsPreserveAgreement) {
+  GameConfig cfg{3, 1, 4};  // more rounds than needed: still safe
+  const auto c = census(cfg);
+  EXPECT_TRUE(c.all_agree);
+  EXPECT_TRUE(c.all_valid);
+}
+
+TEST(Valency, InputValidation) {
+  EXPECT_THROW(explore(GameConfig{1, 0, 0}, {0}), PreconditionError);
+  EXPECT_THROW(explore(GameConfig{6, 1, 0},
+                       std::vector<std::uint8_t>(6, 0)),
+               PreconditionError);
+  EXPECT_THROW(explore(GameConfig{3, 3, 0}, {0, 0, 0}), PreconditionError);
+  EXPECT_THROW(explore(GameConfig{3, 1, 0}, {0, 0}), PreconditionError);
+}
+
+TEST(Valency, ReportsExplorationSize) {
+  GameConfig cfg{3, 1, 0};
+  const auto r = explore(cfg, {0, 1, 1});
+  EXPECT_GT(r.strategies, 1u);
+  EXPECT_GT(r.states, 0u);
+}
+
+}  // namespace
+}  // namespace omx::valency

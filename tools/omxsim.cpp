@@ -1,0 +1,153 @@
+// omxsim — command-line driver for single consensus experiments.
+//
+//   omxsim --algo optimal --attack coin-hiding --n 512 --seeds 5
+//   omxsim --algo param --x 16 --n 256 --inputs alternating --csv
+//
+// Prints the paper's three costs (rounds / communication bits / random
+// bits), the message count, and the consensus-spec verdict, aggregated over
+// the requested seeds. With --csv, emits one machine-readable line per run.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/params.h"
+#include "expsup/table.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+#include "support/cli.h"
+
+using namespace omx;
+
+namespace {
+
+bool parse_algo(const std::string& s, harness::Algo* out) {
+  for (auto a : {harness::Algo::Optimal, harness::Algo::Param,
+                 harness::Algo::FloodSet, harness::Algo::BenOr}) {
+    if (s == harness::to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_attack(const std::string& s, harness::Attack* out) {
+  for (auto a : {harness::Attack::None, harness::Attack::StaticCrash,
+                 harness::Attack::RandomOmission, harness::Attack::SendOmission,
+                 harness::Attack::SplitBrain, harness::Attack::GroupKiller,
+                 harness::Attack::CoinHiding}) {
+    if (s == harness::to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_inputs(const std::string& s, harness::InputPattern* out) {
+  for (auto p : {harness::InputPattern::AllZero, harness::InputPattern::AllOne,
+                 harness::InputPattern::Half, harness::InputPattern::Random,
+                 harness::InputPattern::OneDissent,
+                 harness::InputPattern::Alternating}) {
+    if (s == harness::to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("omxsim",
+                 "run one consensus experiment from the PODC'24 reproduction");
+  args.add_option("algo", "optimal",
+                  "optimal | param | floodset | benor");
+  args.add_option("attack", "none",
+                  "none | crash | rand-omit | send-omit | split-brain | "
+                  "group-killer | coin-hiding");
+  args.add_option("n", "128", "number of processes");
+  args.add_option("t", "-1", "fault budget (-1 = max tolerated by the algo)");
+  args.add_option("x", "4", "super-process count (param only)");
+  args.add_option("inputs", "random",
+                  "all-0 | all-1 | half | random | one-dissent | alternating");
+  args.add_option("seed", "1", "first master seed");
+  args.add_option("seeds", "1", "number of seeds to run");
+  args.add_option("budget", "-1", "random-bit budget (-1 = unlimited)");
+  args.add_option("drop-prob", "0.8", "drop probability for rand-omit");
+  args.add_option("params", "practical", "practical | paper constants");
+  args.add_flag("csv", "emit one CSV line per run instead of a table");
+
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(),
+                 args.usage().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+
+  harness::ExperimentConfig cfg;
+  if (!parse_algo(args.get("algo"), &cfg.algo) ||
+      !parse_attack(args.get("attack"), &cfg.attack) ||
+      !parse_inputs(args.get("inputs"), &cfg.inputs)) {
+    std::fprintf(stderr, "error: bad algo/attack/inputs value\n\n%s",
+                 args.usage().c_str());
+    return 2;
+  }
+  cfg.n = static_cast<std::uint32_t>(args.get_int("n"));
+  cfg.x = static_cast<std::uint32_t>(args.get_int("x"));
+  cfg.drop_prob = args.get_double("drop-prob");
+  if (args.get("params") == "paper") cfg.params = core::Params::paper();
+  const auto t = args.get_int("t");
+  cfg.t = t >= 0 ? static_cast<std::uint32_t>(t)
+                 : (cfg.algo == harness::Algo::Param
+                        ? core::Params::max_t_param(cfg.n)
+                        : core::Params::max_t_optimal(cfg.n));
+  const auto budget = args.get_int("budget");
+  if (budget >= 0) cfg.random_bit_budget = static_cast<std::uint64_t>(budget);
+
+  const auto first_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto num_seeds = static_cast<std::uint64_t>(args.get_int("seeds"));
+  const bool csv = args.flag("csv");
+
+  if (csv) {
+    std::printf(
+        "algo,attack,n,t,seed,ok,rounds,messages,comm_bits,rand_bits,"
+        "rand_calls,omitted,corrupted,decision\n");
+  }
+  expsup::Table table(
+      std::string("omxsim: ") + args.get("algo") + " vs " + args.get("attack"),
+      {"seed", "ok", "rounds", "messages", "comm bits", "rand bits",
+       "omitted", "decision"});
+  int failures = 0;
+  for (std::uint64_t s = 0; s < num_seeds; ++s) {
+    cfg.seed = first_seed + s;
+    const auto r = harness::run_experiment(cfg);
+    failures += !r.ok();
+    if (csv) {
+      std::printf("%s,%s,%u,%u,%llu,%d,%llu,%llu,%llu,%llu,%llu,%llu,%u,%u\n",
+                  args.get("algo").c_str(), args.get("attack").c_str(), cfg.n,
+                  cfg.t, static_cast<unsigned long long>(cfg.seed), r.ok(),
+                  static_cast<unsigned long long>(r.time_rounds),
+                  static_cast<unsigned long long>(r.metrics.messages),
+                  static_cast<unsigned long long>(r.metrics.comm_bits),
+                  static_cast<unsigned long long>(r.metrics.random_bits),
+                  static_cast<unsigned long long>(r.metrics.random_calls),
+                  static_cast<unsigned long long>(r.metrics.omitted),
+                  r.corrupted, r.decision);
+    } else {
+      table.add_row({expsup::Table::num(cfg.seed), r.ok() ? "yes" : "NO",
+                     expsup::Table::num(r.time_rounds),
+                     expsup::Table::num(r.metrics.messages),
+                     expsup::Table::num(r.metrics.comm_bits),
+                     expsup::Table::num(r.metrics.random_bits),
+                     expsup::Table::num(r.metrics.omitted),
+                     expsup::Table::num(std::uint64_t{r.decision})});
+    }
+  }
+  if (!csv) table.print(std::cout);
+  return failures == 0 ? 0 : 1;
+}
