@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b3_crash_vs_omission.dir/bench_b3_crash_vs_omission.cpp.o"
+  "CMakeFiles/bench_b3_crash_vs_omission.dir/bench_b3_crash_vs_omission.cpp.o.d"
+  "bench_b3_crash_vs_omission"
+  "bench_b3_crash_vs_omission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b3_crash_vs_omission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

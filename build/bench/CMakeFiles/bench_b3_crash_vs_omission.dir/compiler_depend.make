@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_b3_crash_vs_omission.
+# This may be replaced when dependencies are built.

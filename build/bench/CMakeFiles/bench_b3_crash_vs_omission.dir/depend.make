@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_b3_crash_vs_omission.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_aggregation.dir/bench_fig2_aggregation.cpp.o"
+  "CMakeFiles/bench_fig2_aggregation.dir/bench_fig2_aggregation.cpp.o.d"
+  "bench_fig2_aggregation"
+  "bench_fig2_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_thresholds.dir/bench_fig3_thresholds.cpp.o"
+  "CMakeFiles/bench_fig3_thresholds.dir/bench_fig3_thresholds.cpp.o.d"
+  "bench_fig3_thresholds"
+  "bench_fig3_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma12_coinflip.dir/bench_lemma12_coinflip.cpp.o"
+  "CMakeFiles/bench_lemma12_coinflip.dir/bench_lemma12_coinflip.cpp.o.d"
+  "bench_lemma12_coinflip"
+  "bench_lemma12_coinflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma12_coinflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

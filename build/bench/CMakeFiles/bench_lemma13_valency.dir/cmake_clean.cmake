@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma13_valency.dir/bench_lemma13_valency.cpp.o"
+  "CMakeFiles/bench_lemma13_valency.dir/bench_lemma13_valency.cpp.o.d"
+  "bench_lemma13_valency"
+  "bench_lemma13_valency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma13_valency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

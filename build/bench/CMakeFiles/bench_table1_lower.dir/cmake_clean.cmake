@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lower.dir/bench_table1_lower.cpp.o"
+  "CMakeFiles/bench_table1_lower.dir/bench_table1_lower.cpp.o.d"
+  "bench_table1_lower"
+  "bench_table1_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_gauntlet.dir/adversary_gauntlet.cpp.o"
+  "CMakeFiles/adversary_gauntlet.dir/adversary_gauntlet.cpp.o.d"
+  "adversary_gauntlet"
+  "adversary_gauntlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_gauntlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

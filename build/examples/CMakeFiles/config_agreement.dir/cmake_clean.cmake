@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_agreement.dir/config_agreement.cpp.o"
+  "CMakeFiles/config_agreement.dir/config_agreement.cpp.o.d"
+  "config_agreement"
+  "config_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_replication.dir/ledger_replication.cpp.o"
+  "CMakeFiles/ledger_replication.dir/ledger_replication.cpp.o.d"
+  "ledger_replication"
+  "ledger_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

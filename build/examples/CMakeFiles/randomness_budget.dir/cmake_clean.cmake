@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomness_budget.dir/randomness_budget.cpp.o"
+  "CMakeFiles/randomness_budget.dir/randomness_budget.cpp.o.d"
+  "randomness_budget"
+  "randomness_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomness_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

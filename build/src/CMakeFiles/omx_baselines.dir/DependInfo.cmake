@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ben_or.cpp" "src/CMakeFiles/omx_baselines.dir/baselines/ben_or.cpp.o" "gcc" "src/CMakeFiles/omx_baselines.dir/baselines/ben_or.cpp.o.d"
+  "/root/repo/src/baselines/doubling_gossip.cpp" "src/CMakeFiles/omx_baselines.dir/baselines/doubling_gossip.cpp.o" "gcc" "src/CMakeFiles/omx_baselines.dir/baselines/doubling_gossip.cpp.o.d"
+  "/root/repo/src/baselines/flood_set.cpp" "src/CMakeFiles/omx_baselines.dir/baselines/flood_set.cpp.o" "gcc" "src/CMakeFiles/omx_baselines.dir/baselines/flood_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_groups.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_baselines.dir/baselines/ben_or.cpp.o"
+  "CMakeFiles/omx_baselines.dir/baselines/ben_or.cpp.o.d"
+  "CMakeFiles/omx_baselines.dir/baselines/doubling_gossip.cpp.o"
+  "CMakeFiles/omx_baselines.dir/baselines/doubling_gossip.cpp.o.d"
+  "CMakeFiles/omx_baselines.dir/baselines/flood_set.cpp.o"
+  "CMakeFiles/omx_baselines.dir/baselines/flood_set.cpp.o.d"
+  "libomx_baselines.a"
+  "libomx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_coinflip.dir/coinflip/game.cpp.o"
+  "CMakeFiles/omx_coinflip.dir/coinflip/game.cpp.o.d"
+  "libomx_coinflip.a"
+  "libomx_coinflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_coinflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/messages.cpp" "src/CMakeFiles/omx_core.dir/core/messages.cpp.o" "gcc" "src/CMakeFiles/omx_core.dir/core/messages.cpp.o.d"
+  "/root/repo/src/core/multi_value.cpp" "src/CMakeFiles/omx_core.dir/core/multi_value.cpp.o" "gcc" "src/CMakeFiles/omx_core.dir/core/multi_value.cpp.o.d"
+  "/root/repo/src/core/optimal_core.cpp" "src/CMakeFiles/omx_core.dir/core/optimal_core.cpp.o" "gcc" "src/CMakeFiles/omx_core.dir/core/optimal_core.cpp.o.d"
+  "/root/repo/src/core/param_consensus.cpp" "src/CMakeFiles/omx_core.dir/core/param_consensus.cpp.o" "gcc" "src/CMakeFiles/omx_core.dir/core/param_consensus.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/omx_core.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/omx_core.dir/core/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_groups.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_core.dir/core/messages.cpp.o"
+  "CMakeFiles/omx_core.dir/core/messages.cpp.o.d"
+  "CMakeFiles/omx_core.dir/core/multi_value.cpp.o"
+  "CMakeFiles/omx_core.dir/core/multi_value.cpp.o.d"
+  "CMakeFiles/omx_core.dir/core/optimal_core.cpp.o"
+  "CMakeFiles/omx_core.dir/core/optimal_core.cpp.o.d"
+  "CMakeFiles/omx_core.dir/core/param_consensus.cpp.o"
+  "CMakeFiles/omx_core.dir/core/param_consensus.cpp.o.d"
+  "CMakeFiles/omx_core.dir/core/params.cpp.o"
+  "CMakeFiles/omx_core.dir/core/params.cpp.o.d"
+  "libomx_core.a"
+  "libomx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_expsup.dir/expsup/fit.cpp.o"
+  "CMakeFiles/omx_expsup.dir/expsup/fit.cpp.o.d"
+  "CMakeFiles/omx_expsup.dir/expsup/table.cpp.o"
+  "CMakeFiles/omx_expsup.dir/expsup/table.cpp.o.d"
+  "libomx_expsup.a"
+  "libomx_expsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_expsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_graph.dir/graph/comm_graph.cpp.o"
+  "CMakeFiles/omx_graph.dir/graph/comm_graph.cpp.o.d"
+  "CMakeFiles/omx_graph.dir/graph/validate.cpp.o"
+  "CMakeFiles/omx_graph.dir/graph/validate.cpp.o.d"
+  "libomx_graph.a"
+  "libomx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_groups.dir/groups/partition.cpp.o"
+  "CMakeFiles/omx_groups.dir/groups/partition.cpp.o.d"
+  "CMakeFiles/omx_groups.dir/groups/tree.cpp.o"
+  "CMakeFiles/omx_groups.dir/groups/tree.cpp.o.d"
+  "libomx_groups.a"
+  "libomx_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

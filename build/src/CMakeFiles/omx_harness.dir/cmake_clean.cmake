@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/omx_harness.dir/harness/experiment.cpp.o.d"
+  "libomx_harness.a"
+  "libomx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

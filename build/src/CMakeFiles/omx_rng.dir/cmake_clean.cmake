@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_rng.dir/rng/ledger.cpp.o"
+  "CMakeFiles/omx_rng.dir/rng/ledger.cpp.o.d"
+  "libomx_rng.a"
+  "libomx_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_support.dir/support/cli.cpp.o"
+  "CMakeFiles/omx_support.dir/support/cli.cpp.o.d"
+  "CMakeFiles/omx_support.dir/support/prng.cpp.o"
+  "CMakeFiles/omx_support.dir/support/prng.cpp.o.d"
+  "CMakeFiles/omx_support.dir/support/stats.cpp.o"
+  "CMakeFiles/omx_support.dir/support/stats.cpp.o.d"
+  "libomx_support.a"
+  "libomx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omx_valency.dir/valency/explorer.cpp.o"
+  "CMakeFiles/omx_valency.dir/valency/explorer.cpp.o.d"
+  "libomx_valency.a"
+  "libomx_valency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omx_valency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

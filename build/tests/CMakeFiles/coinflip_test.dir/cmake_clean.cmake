@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coinflip_test.dir/coinflip_test.cpp.o"
+  "CMakeFiles/coinflip_test.dir/coinflip_test.cpp.o.d"
+  "coinflip_test"
+  "coinflip_test.pdb"
+  "coinflip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coinflip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doubling_gossip_test.dir/doubling_gossip_test.cpp.o"
+  "CMakeFiles/doubling_gossip_test.dir/doubling_gossip_test.cpp.o.d"
+  "doubling_gossip_test"
+  "doubling_gossip_test.pdb"
+  "doubling_gossip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doubling_gossip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

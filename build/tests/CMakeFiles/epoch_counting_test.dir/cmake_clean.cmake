@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_counting_test.dir/epoch_counting_test.cpp.o"
+  "CMakeFiles/epoch_counting_test.dir/epoch_counting_test.cpp.o.d"
+  "epoch_counting_test"
+  "epoch_counting_test.pdb"
+  "epoch_counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expsup_test.dir/expsup_test.cpp.o"
+  "CMakeFiles/expsup_test.dir/expsup_test.cpp.o.d"
+  "expsup_test"
+  "expsup_test.pdb"
+  "expsup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expsup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flood_fallback_test.cpp" "tests/CMakeFiles/flood_fallback_test.dir/flood_fallback_test.cpp.o" "gcc" "tests/CMakeFiles/flood_fallback_test.dir/flood_fallback_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omx_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_groups.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_coinflip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_valency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_expsup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

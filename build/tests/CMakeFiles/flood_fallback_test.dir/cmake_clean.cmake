@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flood_fallback_test.dir/flood_fallback_test.cpp.o"
+  "CMakeFiles/flood_fallback_test.dir/flood_fallback_test.cpp.o.d"
+  "flood_fallback_test"
+  "flood_fallback_test.pdb"
+  "flood_fallback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flood_fallback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

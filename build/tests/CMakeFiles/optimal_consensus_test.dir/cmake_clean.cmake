@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_consensus_test.dir/optimal_consensus_test.cpp.o"
+  "CMakeFiles/optimal_consensus_test.dir/optimal_consensus_test.cpp.o.d"
+  "optimal_consensus_test"
+  "optimal_consensus_test.pdb"
+  "optimal_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_internals_test.dir/param_internals_test.cpp.o"
+  "CMakeFiles/param_internals_test.dir/param_internals_test.cpp.o.d"
+  "param_internals_test"
+  "param_internals_test.pdb"
+  "param_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistical_test.dir/statistical_test.cpp.o"
+  "CMakeFiles/statistical_test.dir/statistical_test.cpp.o.d"
+  "statistical_test"
+  "statistical_test.pdb"
+  "statistical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/adversary_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/groups_test[1]_include.cmake")
+include("/root/repo/build/tests/core_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/flood_fallback_test[1]_include.cmake")
+include("/root/repo/build/tests/optimal_consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/param_consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/param_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_value_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/doubling_gossip_test[1]_include.cmake")
+include("/root/repo/build/tests/coinflip_test[1]_include.cmake")
+include("/root/repo/build/tests/expsup_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/statistical_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/epoch_counting_test[1]_include.cmake")
+include("/root/repo/build/tests/spreading_test[1]_include.cmake")
+include("/root/repo/build/tests/valency_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omxsim.dir/omxsim.cpp.o"
+  "CMakeFiles/omxsim.dir/omxsim.cpp.o.d"
+  "omxsim"
+  "omxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

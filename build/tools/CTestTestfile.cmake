@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[omxsim_smoke]=] "/root/repo/build/tools/omxsim" "--algo" "optimal" "--attack" "rand-omit" "--n" "40" "--seeds" "2")
+set_tests_properties([=[omxsim_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[omxsim_csv]=] "/root/repo/build/tools/omxsim" "--algo" "param" "--x" "2" "--n" "60" "--csv" "--seeds" "1")
+set_tests_properties([=[omxsim_csv]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[omxsim_rejects_bad_args]=] "/root/repo/build/tools/omxsim" "--bogus" "1")
+set_tests_properties([=[omxsim_rejects_bad_args]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
