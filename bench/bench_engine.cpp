@@ -1,0 +1,120 @@
+// Engine micro/meso-benchmark: wall-clock and per-phase (compute /
+// adversary / delivery) timings of full consensus runs through the
+// flat-buffer message plane. Writes BENCH_engine.json next to the working
+// directory (see EXPERIMENTS.md for how the numbers are regenerated).
+//
+// The workloads are chosen to stress the delivery substrate, not the
+// protocols: FloodSet is all-to-all with Θ(n)-sized payloads (the
+// worst-case wire volume per round), Optimal is tens of millions of small
+// messages (record-throughput bound).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "sim/runner.h"
+
+namespace {
+
+struct Workload {
+  const char* name;
+  omx::harness::Algo algo;
+  omx::harness::Attack attack;
+  std::uint32_t n;
+  int reps;
+};
+
+struct Sample {
+  double wall_ms = 1e100;
+  omx::sim::EngineStats stats;  // stats of the best (fastest) rep
+  omx::sim::Metrics metrics;
+};
+
+Sample run_workload(const Workload& w) {
+  Sample best;
+  for (int rep = 0; rep < w.reps; ++rep) {
+    omx::harness::ExperimentConfig cfg;
+    cfg.algo = w.algo;
+    cfg.attack = w.attack;
+    cfg.n = w.n;
+    cfg.t = omx::core::Params::max_t_optimal(w.n);
+    cfg.inputs = omx::harness::InputPattern::Random;
+    cfg.seed = 1;
+    omx::sim::EngineStats stats;
+    cfg.engine_stats = &stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = omx::harness::run_experiment(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("  %-28s rep %d: %9.1f ms  (compute %6.0f | adversary %6.0f "
+                "| delivery %6.0f)\n",
+                w.name, rep, ms, stats.compute_ns / 1e6,
+                stats.adversary_ns / 1e6, stats.delivery_ns / 1e6);
+    std::fflush(stdout);
+    if (ms < best.wall_ms) {
+      best.wall_ms = ms;
+      best.stats = stats;
+      best.metrics = res.metrics;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  const std::vector<Workload> workloads = {
+      {"floodset/none/256", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 256, 3},
+      {"floodset/none/512", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 512, 3},
+      {"floodset/none/1024", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 1024, 3},
+      {"floodset/rand-omit/1024", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::RandomOmission, 1024, 3},
+      {"optimal/none/1024", omx::harness::Algo::Optimal,
+       omx::harness::Attack::None, 1024, 2},
+  };
+
+  // Pre-message-plane engine (seed commit 9d537a6) on the same workloads,
+  // measured back-to-back on the development machine (best of 3 reps,
+  // interleaved A/B runs): the flood-heavy n=1024 cases ran ~5x slower.
+  std::string json =
+      "{\n  \"seed_engine_reference_ms\": {\"floodset/none/1024\": 5337.7, "
+      "\"floodset/rand-omit/1024\": 5593.0, \"optimal/none/1024\": 3359.2},\n"
+      "  \"workloads\": [\n";
+  bool first = true;
+  for (const auto& w : workloads) {
+    const Sample s = run_workload(w);
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"name\": \"%s\", \"n\": %u, \"wall_ms\": %.1f, "
+        "\"compute_ms\": %.1f, \"adversary_ms\": %.1f, "
+        "\"delivery_ms\": %.1f, \"rounds\": %llu, \"messages\": %llu, "
+        "\"comm_bits\": %llu, \"omitted\": %llu}",
+        first ? "" : ",\n", w.name, w.n, s.wall_ms, s.stats.compute_ns / 1e6,
+        s.stats.adversary_ns / 1e6, s.stats.delivery_ns / 1e6,
+        static_cast<unsigned long long>(s.stats.rounds),
+        static_cast<unsigned long long>(s.metrics.messages),
+        static_cast<unsigned long long>(s.metrics.comm_bits),
+        static_cast<unsigned long long>(s.metrics.omitted));
+    json += buf;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  if (FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("could not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -32,10 +32,10 @@ class Recorder final : public sim::Adversary<P> {
     if (inner_ != nullptr) inner_->intervene(ctx);
     RoundTrace tr;
     tr.round = ctx.round();
-    const auto& msgs = ctx.messages();
-    tr.messages = msgs.size();
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      tr.bits += bit_size(msgs[i].payload);
+    const std::size_t mm = ctx.num_messages();
+    tr.messages = mm;
+    for (std::size_t i = 0; i < mm; ++i) {
+      tr.bits += bit_size(ctx.payload(i));
       if (ctx.dropped(i)) ++tr.omitted;
     }
     tr.corrupted = ctx.num_corrupted();

@@ -92,15 +92,16 @@ class RandomOmissionAdversary final : public sim::Adversary<P> {
       for (auto p : faulty_) ctx.corrupt(p);
       corrupted_done_ = true;
     }
-    const auto& msgs = ctx.messages();
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      const auto& m = msgs[i];
-      if (m.from == m.to) continue;
+    const std::size_t mm = ctx.num_messages();
+    for (std::size_t i = 0; i < mm; ++i) {
+      const sim::ProcessId from = ctx.from(i);
+      const sim::ProcessId to = ctx.to(i);
+      if (from == to) continue;
       const bool attackable =
           mode_ == OmissionMode::General
-              ? (ctx.is_corrupted(m.from) || ctx.is_corrupted(m.to))
-              : (mode_ == OmissionMode::SendOnly ? ctx.is_corrupted(m.from)
-                                                 : ctx.is_corrupted(m.to));
+              ? (ctx.is_corrupted(from) || ctx.is_corrupted(to))
+              : (mode_ == OmissionMode::SendOnly ? ctx.is_corrupted(from)
+                                                 : ctx.is_corrupted(to));
       if (attackable && gen_.bernoulli(drop_prob_)) {
         ctx.drop(i);
       }
@@ -128,16 +129,17 @@ class SplitBrainAdversary final : public sim::Adversary<P> {
       for (auto p : faulty_) ctx.corrupt(p);
       corrupted_done_ = true;
     }
-    const auto& msgs = ctx.messages();
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      const auto& m = msgs[i];
-      if (m.from == m.to) continue;
-      const bool from_bad = ctx.is_corrupted(m.from);
-      const bool to_bad = ctx.is_corrupted(m.to);
+    const std::size_t mm = ctx.num_messages();
+    for (std::size_t i = 0; i < mm; ++i) {
+      const sim::ProcessId from = ctx.from(i);
+      const sim::ProcessId to = ctx.to(i);
+      if (from == to) continue;
+      const bool from_bad = ctx.is_corrupted(from);
+      const bool to_bad = ctx.is_corrupted(to);
       if (!from_bad && !to_bad) continue;
       // Corrupted endpoints talk only to/fro the lower half.
-      if (from_bad && m.to >= half_) ctx.drop(i);
-      else if (to_bad && m.from >= half_ && !ctx.dropped(i)) ctx.drop(i);
+      if (from_bad && to >= half_) ctx.drop(i);
+      else if (to_bad && from >= half_ && !ctx.dropped(i)) ctx.drop(i);
     }
   }
 
@@ -164,10 +166,11 @@ class StarveReceiversAdversary final : public sim::Adversary<P> {
       for (auto p : victims_) ctx.corrupt(p);
       corrupted_done_ = true;
     }
-    const auto& msgs = ctx.messages();
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      const auto& m = msgs[i];
-      if (m.from != m.to && ctx.is_corrupted(m.to)) ctx.drop(i);
+    const std::size_t mm = ctx.num_messages();
+    for (std::size_t i = 0; i < mm; ++i) {
+      if (ctx.from(i) != ctx.to(i) && ctx.is_corrupted(ctx.to(i))) {
+        ctx.drop(i);
+      }
     }
   }
 
@@ -193,11 +196,12 @@ class ChaosAdversary final : public sim::Adversary<P> {
       ctx.corrupt(static_cast<sim::ProcessId>(gen_.below(n_)));
     }
     const double drop_prob = gen_.uniform01();  // fresh malice every round
-    const auto& msgs = ctx.messages();
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      const auto& m = msgs[i];
-      if (m.from == m.to) continue;
-      if ((ctx.is_corrupted(m.from) || ctx.is_corrupted(m.to)) &&
+    const std::size_t mm = ctx.num_messages();
+    for (std::size_t i = 0; i < mm; ++i) {
+      const sim::ProcessId from = ctx.from(i);
+      const sim::ProcessId to = ctx.to(i);
+      if (from == to) continue;
+      if ((ctx.is_corrupted(from) || ctx.is_corrupted(to)) &&
           gen_.bernoulli(drop_prob)) {
         ctx.drop(i);
       }

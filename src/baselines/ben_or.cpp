@@ -64,10 +64,8 @@ void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
         scratch_.push_back(core::In{msg.from, &msg.payload});
       }
     }
-    fallback_.step(p, r - fallback_start_, scratch_,
-                   [&io](std::uint32_t to, core::Msg m) {
-                     io.send(to, std::move(m));
-                   });
+    core::IoOutbox out(io);
+    fallback_.step(p, r - fallback_start_, scratch_, out);
     if (fallback_.has_decision(p)) decide(p, fallback_.decision(p));
     return;
   }
@@ -107,24 +105,19 @@ void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
 
   // --- produce ---
   if (s.decided) {
-    for (std::uint32_t q = 0; q < n_; ++q) {
-      if (q != p) io.send(q, core::GossipMsg{static_cast<std::int8_t>(s.b)});
-    }
+    io.send_to_all(core::GossipMsg{static_cast<std::int8_t>(s.b)});
     decide(p, s.b);
     return;
   }
   if (r < cap_) {
-    for (std::uint32_t q = 0; q < n_; ++q) {
-      io.send(q, core::DecisionMsg{s.b});  // own bit counts too
-    }
+    // Own bit counts too, hence include_self.
+    io.send_to_all(core::DecisionMsg{s.b}, /*include_self=*/true);
   } else {
     // r == fallback_start_: register and start flooding.
     fallback_.set_participant(p, s.b);
     scratch_.clear();
-    fallback_.step(p, 0, scratch_,
-                   [&io](std::uint32_t to, core::Msg m) {
-                     io.send(to, std::move(m));
-                   });
+    core::IoOutbox out(io);
+    fallback_.step(p, 0, scratch_, out);
   }
 }
 

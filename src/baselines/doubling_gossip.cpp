@@ -95,9 +95,11 @@ void DoublingGossipMachine::round(sim::ProcessId p,
     }
     // --- produce inquiries (finger-first contact window) ---
     if (!s.completed) {
+      scratch_targets_.clear();
       for (std::uint32_t k = 0; k < s.contacts; ++k) {
-        io.send((p + offsets_[k]) % n_, InquireMsg{});
+        scratch_targets_.push_back((p + offsets_[k]) % n_);
       }
+      io.send_to(scratch_targets_, InquireMsg{});
     }
     return;
   }

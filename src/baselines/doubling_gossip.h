@@ -96,6 +96,7 @@ class DoublingGossipMachine final : public sim::Machine<core::Msg> {
   std::uint32_t rounds_seen_ = 0;
   std::vector<PState> st_;
   std::vector<std::uint32_t> offsets_;  // contact order (fingers first)
+  std::vector<sim::ProcessId> scratch_targets_;  // inquiry multicast list
   std::vector<std::uint8_t> inputs_;
   const sim::FaultState* faults_ = nullptr;
   bool crash_semantics_ = false;

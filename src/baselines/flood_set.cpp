@@ -28,10 +28,8 @@ void FloodSetMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
   for (const auto& msg : io.inbox()) {
     scratch_.push_back(core::In{msg.from, &msg.payload});
   }
-  fallback_.step(p, cur_round_, scratch_,
-                 [&io](std::uint32_t to, core::Msg m) {
-                   io.send(to, std::move(m));
-                 });
+  core::IoOutbox out(io);
+  fallback_.step(p, cur_round_, scratch_, out);
   if (fallback_.has_decision(p)) {
     s.terminated = true;
     s.decision = fallback_.decision(p);

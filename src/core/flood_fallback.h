@@ -50,7 +50,7 @@ class FloodFallback {
   }
 
   void step(std::uint32_t m, std::uint32_t fr, std::span<const In> inbox,
-            const SendFn& send) {
+            Outbox& send) {
     OMX_REQUIRE(fr < total_rounds(), "fallback round out of schedule");
     auto& s = state_[m];
 
@@ -74,14 +74,11 @@ class FloodFallback {
     }
 
     // --- produce this round's sends ---
-    const auto n = static_cast<std::uint32_t>(state_.size());
     if (fr <= t_) {
       if (s.participant && !s.fresh.empty()) {
         FloodMsg msg{std::move(s.fresh)};
         s.fresh = {};
-        for (std::uint32_t q = 0; q < n; ++q) {
-          if (q != m) send(q, msg);
-        }
+        send.all(std::move(msg));
       }
     } else if (fr == t_ + 1) {
       if (s.participant && !s.has_decision) {
@@ -92,9 +89,7 @@ class FloodFallback {
         }
         s.has_decision = true;
         s.decision = ones > zeros ? 1 : 0;
-        for (std::uint32_t q = 0; q < n; ++q) {
-          if (q != m) send(q, DecisionMsg{s.decision});
-        }
+        send.all(DecisionMsg{s.decision});
       }
     }
     // fr == t_ + 2: consume-only round.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "support/bits.h"
+#include "support/cow_vec.h"
 
 namespace omx::core {
 
@@ -85,7 +86,9 @@ struct FloodPair {
   std::uint8_t value;
 };
 struct FloodMsg {
-  std::vector<FloodPair> pairs;
+  /// Copy-on-write: a flooded pair list is fanned out to n-1 receivers by
+  /// value, and a deep copy per receiver would be Θ(n²) bytes per round.
+  support::CowVec<FloodPair> pairs;
   std::uint64_t bit_size() const {
     std::uint64_t bits = 1;
     for (const auto& p : pairs) bits += field_bits(p.id) + 1;

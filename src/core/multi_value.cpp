@@ -59,9 +59,8 @@ void MultiValueMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
     for (const auto& msg : io.inbox()) {
       scratch_.push_back(In{msg.from, &msg.payload});
     }
-    inner_->step(p, scratch_,
-                 [&io](std::uint32_t to, Msg m) { io.send(to, std::move(m)); },
-                 io.rng());
+    IoOutbox out(io);
+    inner_->step(p, scratch_, out, io.rng());
     return;
   }
 
@@ -74,9 +73,7 @@ void MultiValueMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
     if (d) s.decided_prefix |= mask_of(phase);
     else s.decided_prefix &= ~mask_of(phase);
     if (own_bit == d) {
-      for (std::uint32_t q = 0; q < n_; ++q) {
-        if (q != p) io.send(q, ValueMsg{s.candidate});
-      }
+      io.send_to_all(ValueMsg{s.candidate});
     }
     return;
   }

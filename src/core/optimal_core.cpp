@@ -40,8 +40,7 @@ OptimalCore::OptimalCore(OptimalConfig config,
 
   delta_ = cfg_.params.delta(m_);
   min_in_links_ = cfg_.params.operative_min_degree(m_);
-  graph_ = std::make_unique<graph::CommGraph>(
-      graph::CommGraph::common_for(m_, delta_));
+  graph_ = graph::CommGraph::common_for_shared(m_, delta_);
 
   layers_ = tree_.num_layers();
   agg_len_ = 3 * (layers_ - 1);
@@ -338,8 +337,7 @@ void OptimalCore::consume(std::uint32_t m, const Phase& prev,
   }
 }
 
-void OptimalCore::produce(std::uint32_t m, const Phase& cur,
-                          const SendFn& send) {
+void OptimalCore::produce(std::uint32_t m, const Phase& cur, Outbox& send) {
   auto& s = st_[m];
   switch (cur.kind) {
     case Kind::AggPush: {
@@ -351,13 +349,13 @@ void OptimalCore::produce(std::uint32_t m, const Phase& cur,
             tree_.bag_index_of(cur.stage - 1, s.idx_in_group);
         const RelayPush push{static_cast<std::uint16_t>(cur.stage), child,
                              s.cur_ones, s.cur_zeros};
-        for (std::uint32_t q : partition_.members(s.group)) send(q, push);
+        send.many(partition_.members(s.group), push);
       }
       break;
     }
     case Kind::AggAck: {
       const RelayAck ack{static_cast<std::uint16_t>(cur.stage)};
-      for (std::uint32_t f : s.push_senders) send(f, ack);
+      send.many(s.push_senders, ack);
       break;
     }
     case Kind::AggShare: {
@@ -379,7 +377,7 @@ void OptimalCore::produce(std::uint32_t m, const Phase& cur,
           share.right_ones = s.child_ones[cr];
           share.right_zeros = s.child_zeros[cr];
         }
-        send(q, share);
+        send.to(q, share);
       }
       break;
     }
@@ -406,15 +404,13 @@ void OptimalCore::produce(std::uint32_t m, const Phase& cur,
                 SpreadEntry{g, s.pack_ones[g], s.pack_zeros[g]});
           }
         }
-        send(nb[slot], msg);  // empty == heartbeat
+        send.to(nb[slot], msg);  // empty == heartbeat
       }
       break;
     }
     case Kind::DecideBcast: {
       if (s.operative && s.decided) {
-        for (std::uint32_t q = 0; q < m_; ++q) {
-          if (q != m) send(q, DecisionMsg{s.b});
-        }
+        send.all(DecisionMsg{s.b});
       }
       break;
     }
@@ -426,7 +422,7 @@ void OptimalCore::produce(std::uint32_t m, const Phase& cur,
 }
 
 void OptimalCore::step(std::uint32_t m, std::span<const In> inbox,
-                       const SendFn& send, rng::Source& rng) {
+                       Outbox& send, rng::Source& rng) {
   OMX_REQUIRE(m < m_, "member out of range");
   auto& s = st_[m];
   if (s.terminated) return;
@@ -473,9 +469,7 @@ void OptimalCore::step(std::uint32_t m, std::span<const In> inbox,
   // running the remaining epochs.
   if (cfg_.params.early_decide && in_epochs && st_[m].operative &&
       st_[m].decided) {
-    for (std::uint32_t q = 0; q < m_; ++q) {
-      if (q != m) send(q, DecisionMsg{st_[m].b});
-    }
+    send.all(DecisionMsg{st_[m].b});
     decide(m, st_[m].b);
     return;
   }
@@ -539,9 +533,8 @@ void OptimalMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
   for (const auto& msg : io.inbox()) {
     scratch_in_.push_back(In{msg.from, &msg.payload});
   }
-  core_.step(p, scratch_in_,
-             [&io](std::uint32_t to, Msg m) { io.send(to, std::move(m)); },
-             io.rng());
+  IoOutbox out(io);
+  core_.step(p, scratch_in_, out, io.rng());
 }
 
 bool OptimalMachine::finished() const {

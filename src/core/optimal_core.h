@@ -78,7 +78,7 @@ class OptimalCore {
   void begin_round(std::uint32_t r);
   /// Step member m for the current round: consume `inbox` (messages sent in
   /// the previous round), then emit this round's sends.
-  void step(std::uint32_t m, std::span<const In> inbox, const SendFn& send,
+  void step(std::uint32_t m, std::span<const In> inbox, Outbox& send,
             rng::Source& rng);
 
   bool all_terminated() const { return terminated_count_ == m_; }
@@ -175,7 +175,7 @@ class OptimalCore {
   void stage_reset(MemberState& s);
   void consume(std::uint32_t m, const Phase& prev, std::span<const In> inbox,
                rng::Source& rng);
-  void produce(std::uint32_t m, const Phase& cur, const SendFn& send);
+  void produce(std::uint32_t m, const Phase& cur, Outbox& send);
   void decide(std::uint32_t m, std::uint8_t value);
   std::uint32_t neighbor_slot(std::uint32_t m, std::uint32_t from) const;
   void vote_update(std::uint32_t m, rng::Source& rng);
@@ -184,7 +184,7 @@ class OptimalCore {
   std::uint32_t m_ = 0;  // member count
   groups::SqrtPartition partition_;
   groups::TreeDecomposition tree_;
-  std::unique_ptr<graph::CommGraph> graph_;  // over member indices
+  std::shared_ptr<const graph::CommGraph> graph_;  // over member indices
   std::uint32_t delta_ = 0;
   std::uint32_t min_in_links_ = 0;  // Δ/3 operative rule
   std::uint32_t epochs_ = 0;

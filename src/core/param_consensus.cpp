@@ -18,8 +18,7 @@ ParamMachine::ParamMachine(ParamConfig config,
 
   group_width_ = static_cast<std::uint32_t>(ceil_div(n_, cfg_.x));
   num_groups_ = static_cast<std::uint32_t>(ceil_div(n_, group_width_));
-  graph_ = std::make_unique<graph::CommGraph>(
-      graph::CommGraph::common_for(n_, cfg_.params.delta(n_)));
+  graph_ = graph::CommGraph::common_for_shared(n_, cfg_.params.delta(n_));
   min_in_links_ = cfg_.params.operative_min_degree(n_);
   gossip_len_ = cfg_.params.gossip_rounds(n_);
 
@@ -235,30 +234,28 @@ void ParamMachine::consume(sim::ProcessId p, const Phase& prev,
 }
 
 void ParamMachine::produce(sim::ProcessId p, const Phase& cur,
-                           const SendFn& send) {
+                           sim::RoundIo<Msg>& io) {
   auto& s = st_[p];
   switch (cur.kind) {
     case Kind::Gossip: {
       if (!s.operative) break;
       const auto nb = graph_->neighbors(p);
+      scratch_targets_.clear();
       for (std::uint32_t slot = 0; slot < nb.size(); ++slot) {
-        if (s.link_dead[slot]) continue;
-        send(nb[slot], GossipMsg{s.consensus_decision});
+        if (!s.link_dead[slot]) scratch_targets_.push_back(nb[slot]);
       }
+      io.send_to(scratch_targets_, GossipMsg{s.consensus_decision});
       break;
     }
     case Kind::SafetySend: {
       if (!s.operative) break;
-      for (std::uint32_t q = 0; q < n_; ++q) {
-        send(q, DecisionMsg{s.b});  // includes self: own bit counts (line 18)
-      }
+      // Includes self: the process's own bit counts (line 18).
+      io.send_to_all(DecisionMsg{s.b}, /*include_self=*/true);
       break;
     }
     case Kind::FinalBcast: {
       if (s.operative && s.decided) {
-        for (std::uint32_t q = 0; q < n_; ++q) {
-          if (q != p) send(q, DecisionMsg{s.b});
-        }
+        io.send_to_all(DecisionMsg{s.b});
       }
       break;
     }
@@ -282,10 +279,8 @@ void ParamMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
     for (const auto& msg : io.inbox()) {
       inner_inbox_.push_back(In{msg.from, &msg.payload});
     }
-    fallback_.step(p, cur.fallback_round, inner_inbox_,
-                   [&io](std::uint32_t to, Msg m) {
-                     io.send(to, std::move(m));
-                   });
+    IoOutbox out(io);
+    fallback_.step(p, cur.fallback_round, inner_inbox_, out);
     if (fallback_.has_decision(p)) decide(p, fallback_.decision(p));
     return;
   }
@@ -300,11 +295,8 @@ void ParamMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
                 "non-member message during an inner run");
       inner_inbox_.push_back(In{msg.from - lo, &msg.payload});
     }
-    inner_->step(p - lo, inner_inbox_,
-                 [&io, lo](std::uint32_t to, Msg m) {
-                   io.send(lo + to, std::move(m));
-                 },
-                 io.rng());
+    IoOutbox out(io, inner_members_, &scratch_targets_);
+    inner_->step(p - lo, inner_inbox_, out, io.rng());
     return;
   }
 
@@ -316,9 +308,7 @@ void ParamMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
     consume(p, phase_of(cur_round_ - 1), inner_inbox_);
   }
   if (!st_[p].terminated && cur.kind != Kind::Done) {
-    produce(p, cur, [&io](std::uint32_t to, Msg m) {
-      io.send(to, std::move(m));
-    });
+    produce(p, cur, io);
   }
 }
 

@@ -112,13 +112,13 @@ class ParamMachine final : public sim::Machine<Msg>,
   }
   void consume(sim::ProcessId p, const Phase& prev,
                std::span<const In> inbox);
-  void produce(sim::ProcessId p, const Phase& cur, const SendFn& send);
+  void produce(sim::ProcessId p, const Phase& cur, sim::RoundIo<Msg>& io);
 
   ParamConfig cfg_;
   std::uint32_t n_ = 0;
   std::uint32_t group_width_ = 0;  // ⌈n/x⌉
   std::uint32_t num_groups_ = 0;   // actual number of super-processes
-  std::unique_ptr<graph::CommGraph> graph_;
+  std::shared_ptr<const graph::CommGraph> graph_;
   std::uint32_t min_in_links_ = 0;
   std::uint32_t gossip_len_ = 0;
 
@@ -140,6 +140,7 @@ class ParamMachine final : public sim::Machine<Msg>,
   std::uint32_t inner_phase_ = UINT32_MAX;
   std::vector<std::uint32_t> inner_members_;  // global ids of active SP
   std::vector<In> inner_inbox_;               // scratch
+  std::vector<sim::ProcessId> scratch_targets_;  // multicast translation
 
   const sim::FaultState* faults_ = nullptr;
 };

@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -22,9 +24,10 @@ inline unsigned worker_count(std::size_t items) {
   return want < cap ? (want == 0 ? 1 : want) : cap;
 }
 
-/// Apply `fn` to every item; results in input order. Exceptions inside
-/// workers terminate (experiments must not throw — a throwing run is a
-/// bug the caller wants loudly).
+/// Apply `fn` to every item; results in input order. If a worker throws,
+/// the first exception is captured, the remaining work is cancelled, all
+/// workers are joined, and the exception is rethrown on the calling thread
+/// (instead of std::terminate tearing the process down from a worker).
 template <class In, class Fn>
 auto parallel_map(const std::vector<In>& items, Fn fn)
     -> std::vector<decltype(fn(items[0]))> {
@@ -32,11 +35,23 @@ auto parallel_map(const std::vector<In>& items, Fn fn)
   std::vector<Out> results(items.size());
   if (items.empty()) return results;
   std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= items.size()) return;
-      results[i] = fn(items[i]);
+      try {
+        results[i] = fn(items[i]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Drain the queue so every worker exits promptly.
+        next.store(items.size());
+        return;
+      }
     }
   };
   const unsigned workers = worker_count(items.size());
@@ -44,6 +59,7 @@ auto parallel_map(const std::vector<In>& items, Fn fn)
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "support/check.h"
 #include "support/prng.h"
@@ -93,6 +96,27 @@ CommGraph CommGraph::common_for(std::uint32_t n, std::uint32_t delta) {
   // this is the "common knowledge" object all processes agree on.
   const std::uint64_t seed = mix64(0x0C0FFEEULL ^ n, delta);
   return erdos_renyi(n, p, seed);
+}
+
+std::shared_ptr<const CommGraph> CommGraph::common_for_shared(
+    std::uint32_t n, std::uint32_t delta) {
+  using Key = std::pair<std::uint32_t, std::uint32_t>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const CommGraph>> cache;
+
+  const Key key{n, delta};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Generate outside the lock: graph construction is the expensive part and
+  // the function is deterministic, so a racing duplicate is harmless — the
+  // first insert wins and the loser's copy is discarded.
+  auto built = std::make_shared<const CommGraph>(common_for(n, delta));
+  std::lock_guard<std::mutex> lock(mu);
+  const auto [it, inserted] = cache.emplace(key, std::move(built));
+  return it->second;
 }
 
 }  // namespace omx::graph

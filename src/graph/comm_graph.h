@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,13 @@ class CommGraph {
   /// The common-knowledge graph for an n-process system: ER with edge
   /// probability Δ/(n-1), seeded deterministically from (n, Δ).
   static CommGraph common_for(std::uint32_t n, std::uint32_t delta);
+
+  /// Memoized common_for: the graph is a pure function of (n, Δ), so
+  /// experiment repetitions share one immutable instance instead of
+  /// regenerating it. Thread-safe (parallel_map runs experiments
+  /// concurrently); entries live for the process lifetime.
+  static std::shared_ptr<const CommGraph> common_for_shared(
+      std::uint32_t n, std::uint32_t delta);
 
   std::uint32_t n() const { return static_cast<std::uint32_t>(adj_.size()); }
   std::uint64_t num_edges() const { return num_edges_; }

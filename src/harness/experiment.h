@@ -12,6 +12,10 @@
 #include "rng/ledger.h"
 #include "sim/metrics.h"
 
+namespace omx::sim {
+struct EngineStats;
+}
+
 namespace omx::harness {
 
 enum class Algo {
@@ -63,6 +67,8 @@ struct ExperimentConfig {
   double drop_prob = 0.8;
   /// Engine safety cap; 0 = machine schedule + slack.
   std::uint64_t max_rounds = 0;
+  /// Optional per-phase engine timing sink (bench_engine); nullptr = off.
+  sim::EngineStats* engine_stats = nullptr;
 };
 
 struct ExperimentResult {

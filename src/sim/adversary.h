@@ -18,6 +18,7 @@
 
 #include "support/check.h"
 #include "sim/message.h"
+#include "sim/message_plane.h"
 
 namespace omx::sim {
 
@@ -49,22 +50,75 @@ class FaultState {
   std::uint32_t num_corrupted_ = 0;
 };
 
-/// The adversary's per-round window onto the execution.
+/// Read-only iterable view over the plane's logical messages. Elements are
+/// lightweight proxies carrying (from, to, payload&) — range-for loops over
+/// ctx.messages() read exactly what the old materialized vector showed,
+/// without the engine building per-recipient Message objects.
+template <class P>
+class MessageView {
+ public:
+  struct Ref {
+    ProcessId from;
+    ProcessId to;
+    const P& payload;
+  };
+
+  explicit MessageView(const MessagePlane<P>* plane) : plane_(plane) {}
+
+  std::size_t size() const { return plane_->num_messages(); }
+  bool empty() const { return size() == 0; }
+  Ref operator[](std::size_t i) const {
+    return Ref{plane_->from(i), plane_->to(i), plane_->payload(i)};
+  }
+
+  class iterator {
+   public:
+    iterator(const MessagePlane<P>* plane, std::size_t i)
+        : plane_(plane), i_(i) {}
+    Ref operator*() const {
+      return Ref{plane_->from(i_), plane_->to(i_), plane_->payload(i_)};
+    }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const MessagePlane<P>* plane_;
+    std::size_t i_;
+  };
+  iterator begin() const { return iterator(plane_, 0); }
+  iterator end() const { return iterator(plane_, size()); }
+
+ private:
+  const MessagePlane<P>* plane_;
+};
+
+/// The adversary's per-round window onto the execution. Messages are exposed
+/// through an indexed view straight into the plane's flat buffers: a
+/// multicast looks like the equivalent sequence of unicasts (one logical
+/// index per recipient), so strategies are oblivious to the fast-path.
 template <class P>
 class AdversaryContext {
  public:
-  AdversaryContext(std::uint32_t round, std::vector<Message<P>>* messages,
-                   std::vector<bool>* drop_flags, FaultState* faults)
-      : round_(round),
-        messages_(messages),
-        drop_flags_(drop_flags),
-        faults_(faults) {}
+  AdversaryContext(std::uint32_t round, MessagePlane<P>* plane,
+                   FaultState* faults)
+      : round_(round), plane_(plane), faults_(faults) {}
 
   std::uint32_t round() const { return round_; }
 
-  /// All messages produced in this round's computation phase (full
-  /// information: contents are visible before delivery).
-  const std::vector<Message<P>>& messages() const { return *messages_; }
+  /// Number of logical messages produced in this round's computation phase.
+  std::size_t num_messages() const { return plane_->num_messages(); }
+
+  /// Indexed view (full information: contents are visible before delivery).
+  ProcessId from(std::size_t i) const { return plane_->from(i); }
+  ProcessId to(std::size_t i) const { return plane_->to(i); }
+  const P& payload(std::size_t i) const { return plane_->payload(i); }
+
+  /// Iterable proxy view for wiretaps and audits.
+  MessageView<P> messages() const { return MessageView<P>(plane_); }
 
   bool is_corrupted(ProcessId p) const { return faults_->is_corrupted(p); }
   std::uint32_t num_corrupted() const { return faults_->num_corrupted(); }
@@ -76,25 +130,29 @@ class AdversaryContext {
   /// Omit message #idx. Legal only if one endpoint is corrupted and it is
   /// not a self-delivery.
   void drop(std::size_t idx) {
-    OMX_REQUIRE(idx < messages_->size(), "drop: message index out of range");
-    const Message<P>& m = (*messages_)[idx];
-    if (m.from == m.to) {
+    OMX_REQUIRE(idx < plane_->num_messages(),
+                "drop: message index out of range");
+    const ProcessId from = plane_->from(idx);
+    const ProcessId to = plane_->to(idx);
+    if (from == to) {
       throw AdversaryViolation("cannot omit a self-delivery");
     }
-    if (!faults_->is_corrupted(m.from) && !faults_->is_corrupted(m.to)) {
+    if (!faults_->is_corrupted(from) && !faults_->is_corrupted(to)) {
       throw AdversaryViolation(
           "cannot omit a message between two non-corrupted processes");
     }
-    (*drop_flags_)[idx] = true;
+    plane_->mark_dropped(idx);
   }
 
-  bool dropped(std::size_t idx) const { return (*drop_flags_)[idx]; }
+  bool dropped(std::size_t idx) const { return plane_->dropped(idx); }
 
   /// Convenience: drop every message from/to p (p must be corrupted).
   void silence(ProcessId p) {
-    for (std::size_t i = 0; i < messages_->size(); ++i) {
-      const auto& m = (*messages_)[i];
-      if ((m.from == p || m.to == p) && m.from != m.to && !(*drop_flags_)[i]) {
+    const std::size_t mm = plane_->num_messages();
+    for (std::size_t i = 0; i < mm; ++i) {
+      const ProcessId from = plane_->from(i);
+      const ProcessId to = plane_->to(i);
+      if ((from == p || to == p) && from != to && !plane_->dropped(i)) {
         drop(i);
       }
     }
@@ -102,8 +160,7 @@ class AdversaryContext {
 
  private:
   std::uint32_t round_;
-  std::vector<Message<P>>* messages_;
-  std::vector<bool>* drop_flags_;
+  MessagePlane<P>* plane_;
   FaultState* faults_;
 };
 

@@ -11,12 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
-#include <vector>
 
 #include "rng/ledger.h"
 #include "sim/message.h"
+#include "sim/message_plane.h"
 
 namespace omx::sim {
 
@@ -25,9 +24,9 @@ template <class P>
 class RoundIo {
  public:
   RoundIo(std::uint32_t round, ProcessId self,
-          std::span<const Message<P>> inbox,
-          std::vector<Message<P>>* outbox, rng::Source* rng)
-      : round_(round), self_(self), inbox_(inbox), outbox_(outbox), rng_(rng) {}
+          std::span<const Message<P>> inbox, MessagePlane<P>* plane,
+          rng::Source* rng)
+      : round_(round), self_(self), inbox_(inbox), plane_(plane), rng_(rng) {}
 
   std::uint32_t round() const { return round_; }
   ProcessId self() const { return self_; }
@@ -37,7 +36,26 @@ class RoundIo {
 
   /// Queue a message for the communication phase of this round.
   void send(ProcessId to, P payload) {
-    outbox_->push_back(Message<P>{self_, to, std::move(payload)});
+    plane_->send(self_, to, std::move(payload));
+  }
+
+  /// Broadcast fast-path: one payload to every process in id order (the
+  /// sender itself only when `include_self`). The payload is stored once;
+  /// the adversary and the metrics still observe one logical message per
+  /// recipient, exactly as if send() had been called in a loop.
+  void send_to_all(P payload, bool include_self = false) {
+    plane_->broadcast(self_, std::move(payload), include_self);
+  }
+
+  /// Multicast fast-path: one payload to the listed receivers, in order.
+  void send_to(std::span<const ProcessId> to, P payload) {
+    plane_->multicast(self_, to, std::move(payload));
+  }
+
+  /// Multicast skipping one id (typically the sender in a member list).
+  void send_to_except(std::span<const ProcessId> to, ProcessId skip,
+                      P payload) {
+    plane_->multicast(self_, to, std::move(payload), skip);
   }
 
   /// This process's metered random source.
@@ -47,7 +65,7 @@ class RoundIo {
   std::uint32_t round_;
   ProcessId self_;
   std::span<const Message<P>> inbox_;
-  std::vector<Message<P>>* outbox_;
+  MessagePlane<P>* plane_;
   rng::Source* rng_;
 };
 

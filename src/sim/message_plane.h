@@ -1,0 +1,229 @@
+// Flat-buffer message plane: the engine's zero-allocation delivery substrate.
+//
+// One instance lives for a whole run. Per round it stores:
+//   * a payload arena (`payloads_`) — each *distinct* payload value is stored
+//     exactly once, so a broadcast of one value to n-1 receivers costs one
+//     payload slot plus n-1 twelve-byte fan-out records;
+//   * a record list (`records_`) — one POD entry per *logical* point-to-point
+//     message (from, to, payload slot). The adversary and the metrics always
+//     observe logical messages: a multicast is indistinguishable, in ordering
+//     and in bit/message/omission accounting, from the equivalent unicast
+//     loop;
+//   * a word-packed drop set (`drops_`) marking adversary omissions.
+//
+// Delivery is a stable counting sort of the surviving records into one
+// contiguous buffer plus a per-receiver offset table, so every inbox is a
+// `std::span<const Message<P>>` and payload bit sizes are computed once per
+// payload slot instead of once per logical message. All buffers have
+// round-persistent capacity: after warm-up, a round allocates only whatever
+// the payloads themselves allocate internally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "support/check.h"
+
+namespace omx::sim {
+
+/// Word-packed omission flags (replaces the engine's old std::vector<bool>).
+class DropSet {
+ public:
+  void reset(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+  std::size_t size() const { return size_; }
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+template <class P>
+class MessagePlane {
+ public:
+  /// Sentinel for multicast: no process is skipped.
+  static constexpr ProcessId kNobody = UINT32_MAX;
+
+  explicit MessagePlane(std::uint32_t n) : n_(n), inbox_offsets_(n + 1, 0) {}
+
+  std::uint32_t num_processes() const { return n_; }
+
+  /// Start a round's send phase. Clears the wire arena (capacity persists);
+  /// the previous round's delivered inboxes stay readable.
+  void begin_round() {
+    records_.clear();
+    payloads_.clear();
+  }
+
+  // --- send side (computation phase) ---
+
+  void send(ProcessId from, ProcessId to, P payload) {
+    OMX_CHECK(to < n_, "message addressed outside the system");
+    const std::uint32_t slot = stash(std::move(payload));
+    records_.push_back(Record{from, to, slot});
+  }
+
+  /// One payload, fanned out to every process in id order (optionally
+  /// including the sender itself). Logical messages and accounting are
+  /// identical to the equivalent unicast loop.
+  void broadcast(ProcessId from, P payload, bool include_self) {
+    const std::uint32_t slot = stash(std::move(payload));
+    for (ProcessId q = 0; q < n_; ++q) {
+      if (q == from && !include_self) continue;
+      records_.push_back(Record{from, q, slot});
+    }
+  }
+
+  /// One payload, fanned out to the listed receivers in list order
+  /// (`skip` is omitted where it appears; pass kNobody to keep all).
+  void multicast(ProcessId from, std::span<const ProcessId> to, P payload,
+                 ProcessId skip = kNobody) {
+    const std::uint32_t slot = stash(std::move(payload));
+    for (ProcessId q : to) {
+      if (q == skip) continue;
+      OMX_CHECK(q < n_, "message addressed outside the system");
+      records_.push_back(Record{from, q, slot});
+    }
+  }
+
+  // --- indexed logical-message view (adversary phase) ---
+
+  std::size_t num_messages() const { return records_.size(); }
+  ProcessId from(std::size_t i) const { return records_[i].from; }
+  ProcessId to(std::size_t i) const { return records_[i].to; }
+  const P& payload(std::size_t i) const {
+    return payloads_[records_[i].payload];
+  }
+
+  /// End the send phase: size the drop set to this round's messages.
+  void seal() { drops_.reset(records_.size()); }
+
+  void mark_dropped(std::size_t i) { drops_.set(i); }
+  bool dropped(std::size_t i) const { return drops_.test(i); }
+
+  // --- delivery (communication phase) ---
+
+  /// Account every logical message (sent-but-omitted still costs bits: the
+  /// sender spent them), then counting-sort the survivors into the inbox
+  /// buffer. Stable: each inbox sees its messages in global send order,
+  /// exactly as the per-receiver push_back delivery did.
+  void deliver(Metrics& m) {
+    payload_bits_.resize(payloads_.size());
+    for (std::size_t s = 0; s < payloads_.size(); ++s) {
+      payload_bits_[s] = bit_size(payloads_[s]);
+    }
+    payload_uses_.assign(payloads_.size(), 0);
+    counts_.assign(n_, 0);
+    std::size_t delivered = 0;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      m.messages += 1;
+      m.comm_bits += payload_bits_[r.payload];
+      if (drops_.test(i)) {
+        m.omitted += 1;
+        continue;
+      }
+      ++counts_[r.to];
+      ++payload_uses_[r.payload];
+      ++delivered;
+    }
+
+    scratch_offsets_.resize(n_ + 1);
+    scratch_offsets_[0] = 0;
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      scratch_offsets_[p + 1] = scratch_offsets_[p] + counts_[p];
+      counts_[p] = scratch_offsets_[p];  // reuse as scatter cursors
+    }
+    // Scatter the survivors straight into the staging buffer through the
+    // per-receiver cursors (one pass, no index indirection). Stable: for a
+    // fixed receiver the cursor advances in global send order. Slots are
+    // overwritten by assignment, not reconstructed, so a payload holding a
+    // heap buffer (e.g. a vector) reuses last round's capacity in place.
+    // The last surviving use of a payload moves it; earlier fan-out uses
+    // copy (a multicast payload is shared by several receivers).
+    if constexpr (std::is_default_constructible_v<P>) {
+      staging_.resize(delivered);
+      for (std::size_t i = 0; i < records_.size(); ++i) {
+        if (drops_.test(i)) continue;
+        const Record& r = records_[i];
+        Message<P>& dst = staging_[counts_[r.to]++];
+        dst.from = r.from;
+        dst.to = r.to;
+        if (--payload_uses_[r.payload] == 0) {
+          dst.payload = std::move(payloads_[r.payload]);
+        } else {
+          dst.payload = payloads_[r.payload];
+        }
+      }
+    } else {
+      order_.resize(delivered);
+      for (std::size_t i = 0; i < records_.size(); ++i) {
+        if (drops_.test(i)) continue;
+        order_[counts_[records_[i].to]++] = static_cast<std::uint32_t>(i);
+      }
+      staging_.clear();
+      staging_.reserve(delivered);
+      for (const std::uint32_t idx : order_) {
+        const Record& r = records_[idx];
+        if (--payload_uses_[r.payload] == 0) {
+          staging_.push_back(
+              Message<P>{r.from, r.to, std::move(payloads_[r.payload])});
+        } else {
+          if constexpr (std::is_copy_constructible_v<P>) {
+            staging_.push_back(Message<P>{r.from, r.to, payloads_[r.payload]});
+          } else {
+            OMX_CHECK(false, "multicast payload type must be copyable");
+          }
+        }
+      }
+    }
+    inbox_store_.swap(staging_);
+    inbox_offsets_.swap(scratch_offsets_);
+  }
+
+  /// Messages delivered to p by the most recent deliver() call.
+  std::span<const Message<P>> inbox(ProcessId p) const {
+    return std::span<const Message<P>>(
+        inbox_store_.data() + inbox_offsets_[p],
+        inbox_offsets_[p + 1] - inbox_offsets_[p]);
+  }
+
+ private:
+  struct Record {
+    ProcessId from;
+    ProcessId to;
+    std::uint32_t payload;  // slot in payloads_
+  };
+
+  std::uint32_t stash(P&& payload) {
+    payloads_.push_back(std::move(payload));
+    return static_cast<std::uint32_t>(payloads_.size() - 1);
+  }
+
+  std::uint32_t n_;
+  std::vector<Record> records_;
+  std::vector<P> payloads_;
+  DropSet drops_;
+
+  // Delivery scratch + double-buffered inboxes (all capacity-persistent).
+  std::vector<std::uint64_t> payload_bits_;
+  std::vector<std::uint32_t> payload_uses_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> scratch_offsets_;
+  std::vector<std::uint32_t> order_;
+  std::vector<Message<P>> staging_;
+  std::vector<Message<P>> inbox_store_;
+  std::vector<std::size_t> inbox_offsets_;
+};
+
+}  // namespace omx::sim

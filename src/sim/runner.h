@@ -16,6 +16,7 @@
 // (the latter flagged in the result so tests can fail on non-termination).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "sim/adversary.h"
 #include "sim/machine.h"
 #include "sim/message.h"
+#include "sim/message_plane.h"
 #include "sim/metrics.h"
 #include "support/check.h"
 
@@ -34,11 +36,23 @@ struct RunResult {
   bool hit_round_cap = false;
 };
 
+/// Optional per-phase wall-clock accounting (bench_engine): cumulative
+/// nanoseconds spent in local computation, adversary intervention, and
+/// delivery. Costs one clock read per phase per round when enabled, nothing
+/// when not.
+struct EngineStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t adversary_ns = 0;
+  std::uint64_t delivery_ns = 0;
+};
+
 template <class P>
 class Runner {
  public:
   struct Options {
     std::uint64_t max_rounds = 1'000'000;
+    EngineStats* stats = nullptr;
   };
 
   Runner(std::uint32_t n, std::uint32_t fault_budget, rng::Ledger* ledger,
@@ -62,12 +76,12 @@ class Runner {
     const std::uint64_t base_calls = ledger_->calls();
     const std::uint64_t base_bits = ledger_->bits();
 
-    std::vector<std::vector<Message<P>>> inboxes(n_);
-    std::vector<std::vector<Message<P>>> next(n_);
-    std::vector<Message<P>> wire;
-    std::vector<bool> drops;
+    MessagePlane<P> plane(n_);
     RunResult result;
     Metrics& m = result.metrics;
+    EngineStats* const stats = options_.stats;
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point t0;
 
     std::uint32_t round = 0;
     while (!machine.finished()) {
@@ -78,33 +92,37 @@ class Runner {
       ledger_->begin_round_window();
       machine.begin_round(round);
 
-      // Phase 1: local computation (+ queuing of sends).
-      wire.clear();
+      // Phase 1: local computation (+ queuing of sends into the plane).
+      if (stats) t0 = Clock::now();
+      plane.begin_round();
       for (ProcessId p = 0; p < n_; ++p) {
-        RoundIo<P> io(round, p, std::span<const Message<P>>(inboxes[p]),
-                      &wire, &ledger_->source(p));
+        RoundIo<P> io(round, p, plane.inbox(p), &plane, &ledger_->source(p));
         machine.round(p, io);
+      }
+      plane.seal();
+      if (stats) {
+        stats->compute_ns += static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(Clock::now() - t0).count());
+        t0 = Clock::now();
       }
 
       // Phase 2: adversary intervention (full information).
-      drops.assign(wire.size(), false);
-      AdversaryContext<P> ctx(round, &wire, &drops, &faults_);
+      AdversaryContext<P> ctx(round, &plane, &faults_);
       adversary_->intervene(ctx);
+      if (stats) {
+        stats->adversary_ns += static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(Clock::now() - t0).count());
+        t0 = Clock::now();
+      }
 
       // Phase 3: delivery + accounting. Sent-but-omitted messages still
       // count toward communication (the sender spent the bits).
-      for (auto& nb : next) nb.clear();
-      for (std::size_t i = 0; i < wire.size(); ++i) {
-        OMX_CHECK(wire[i].to < n_, "message addressed outside the system");
-        m.messages += 1;
-        m.comm_bits += bit_size(wire[i].payload);
-        if (drops[i]) {
-          m.omitted += 1;
-          continue;
-        }
-        next[wire[i].to].push_back(std::move(wire[i]));
+      plane.deliver(m);
+      if (stats) {
+        stats->delivery_ns += static_cast<std::uint64_t>(
+            std::chrono::nanoseconds(Clock::now() - t0).count());
+        ++stats->rounds;
       }
-      inboxes.swap(next);
       ++round;
       m.rounds = round;
     }

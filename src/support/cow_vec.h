@@ -1,0 +1,56 @@
+// Copy-on-write vector.
+//
+// A broadcast payload is fanned out to n-1 inboxes by value (the engine's
+// inbox contract hands each receiver its own Message<P>), so a payload
+// holding a plain std::vector deep-copies its heap buffer once per
+// receiver — Θ(n · |payload|) bytes per flooded message. CowVec shares the
+// backing store between copies (a copy is a refcount bump) and detaches
+// only on mutation, which in the lock-step engine never happens after a
+// payload has been handed to the wire: senders build a payload, move it
+// into the outbox, and receivers only read.
+//
+// Read-only API mirrors the std::vector subset the message types use.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace omx::support {
+
+template <class T>
+class CowVec {
+ public:
+  CowVec() = default;
+  /// Implicit on purpose: lets aggregate message types keep their
+  /// `Payload{std::move(vec)}` construction syntax.
+  CowVec(std::vector<T> v)
+      : data_(std::make_shared<std::vector<T>>(std::move(v))) {}
+
+  bool empty() const { return data_ == nullptr || data_->empty(); }
+  std::size_t size() const { return data_ == nullptr ? 0 : data_->size(); }
+
+  auto begin() const {
+    return data_ == nullptr ? kEmpty.begin() : data_->begin();
+  }
+  auto end() const { return data_ == nullptr ? kEmpty.end() : data_->end(); }
+  const T& operator[](std::size_t i) const { return (*data_)[i]; }
+
+  void push_back(T value) { detach().push_back(std::move(value)); }
+  void clear() { data_.reset(); }
+
+ private:
+  std::vector<T>& detach() {
+    if (data_ == nullptr) {
+      data_ = std::make_shared<std::vector<T>>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<std::vector<T>>(*data_);
+    }
+    return *data_;
+  }
+
+  static inline const std::vector<T> kEmpty{};
+  std::shared_ptr<std::vector<T>> data_;
+};
+
+}  // namespace omx::support

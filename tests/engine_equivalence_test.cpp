@@ -1,0 +1,217 @@
+// Engine-equivalence regression matrix.
+//
+// The flat-buffer message plane (sim/message_plane.h) replaced the seed
+// engine's per-round vector-of-vectors inboxes. The contract of that
+// refactor is *bit-identical observable behaviour*: delivery order,
+// message/bit accounting, omission counting and every PRNG draw sequence
+// must match the old engine exactly. This suite pins the full metric
+// vector for an (algorithm x adversary x n x seed) matrix captured from
+// the pre-refactor engine at the seed commit.
+//
+// If a deliberate engine change moves one of these numbers, regenerate the
+// table (the dump loop below mirrors the capture tool) rather than
+// hand-editing single rows.
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+#include "harness/experiment.h"
+
+namespace omx {
+namespace {
+
+struct GoldenRow {
+  harness::Algo algo;
+  harness::Attack attack;
+  std::uint32_t n;
+  std::uint64_t seed;
+  // Captured expectations (seed engine, commit 9d537a6).
+  std::uint64_t rounds, messages, comm_bits, random_calls, random_bits,
+      omitted, time_rounds;
+  std::uint32_t corrupted;
+  std::uint8_t decision;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<GoldenRow> {};
+
+TEST_P(EngineEquivalence, MetricsBitIdenticalToSeedEngine) {
+  const GoldenRow& g = GetParam();
+  harness::ExperimentConfig cfg;
+  cfg.algo = g.algo;
+  cfg.attack = g.attack;
+  cfg.n = g.n;
+  cfg.t = g.algo == harness::Algo::Param
+              ? core::Params::max_t_param(g.n)
+              : core::Params::max_t_optimal(g.n);
+  cfg.x = 4;
+  cfg.inputs = harness::InputPattern::Random;
+  cfg.seed = g.seed;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.metrics.rounds, g.rounds);
+  EXPECT_EQ(r.metrics.messages, g.messages);
+  EXPECT_EQ(r.metrics.comm_bits, g.comm_bits);
+  EXPECT_EQ(r.metrics.random_calls, g.random_calls);
+  EXPECT_EQ(r.metrics.random_bits, g.random_bits);
+  EXPECT_EQ(r.metrics.omitted, g.omitted);
+  EXPECT_EQ(r.time_rounds, g.time_rounds);
+  EXPECT_EQ(r.metrics.corrupted, g.corrupted);
+  EXPECT_EQ(r.decision, g.decision);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedMatrix, EngineEquivalence,
+    ::testing::Values(
+        GoldenRow{harness::Algo::Optimal, harness::Attack::None, 48u, 1u,
+         218u, 184704u, 705375u, 96u, 96u, 0u, 218u, 0u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::None, 48u, 7u,
+         218u, 184704u, 702992u, 96u, 96u, 0u, 218u, 0u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::None, 96u, 1u,
+         299u, 646968u, 3200724u, 192u, 192u, 0u, 299u, 0u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::None, 96u, 7u,
+         299u, 646968u, 3197700u, 192u, 192u, 0u, 299u, 0u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::None, 160u, 1u,
+         362u, 1452480u, 8199419u, 320u, 320u, 0u, 362u, 0u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::None, 160u, 7u,
+         362u, 1452480u, 8190097u, 320u, 320u, 0u, 362u, 0u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::RandomOmission, 48u, 1u,
+         218u, 178472u, 680356u, 94u, 94u, 435u, 218u, 1u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::RandomOmission, 48u, 7u,
+         218u, 177043u, 673165u, 94u, 94u, 428u, 218u, 1u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::RandomOmission, 96u, 1u,
+         299u, 610217u, 3001342u, 93u, 93u, 2819u, 299u, 3u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::RandomOmission, 96u, 7u,
+         299u, 605718u, 2999109u, 186u, 186u, 2797u, 299u, 3u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::RandomOmission, 160u, 1u,
+         362u, 1384349u, 7808053u, 310u, 310u, 6802u, 362u, 5u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::RandomOmission, 160u, 7u,
+         362u, 1371395u, 7730398u, 310u, 310u, 6745u, 362u, 5u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::GroupKiller, 48u, 1u,
+         218u, 177297u, 675700u, 94u, 94u, 509u, 218u, 1u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::GroupKiller, 48u, 7u,
+         218u, 177297u, 673485u, 94u, 94u, 509u, 218u, 1u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::GroupKiller, 96u, 1u,
+         299u, 607985u, 2971400u, 93u, 93u, 2885u, 299u, 3u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::GroupKiller, 96u, 7u,
+         299u, 607985u, 3002709u, 279u, 279u, 2885u, 299u, 3u, 1u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::GroupKiller, 160u, 1u,
+         362u, 1364002u, 7682906u, 310u, 310u, 6602u, 362u, 5u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::GroupKiller, 160u, 7u,
+         362u, 1364002u, 7670046u, 310u, 310u, 6602u, 362u, 5u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::CoinHiding, 48u, 1u,
+         218u, 179145u, 683997u, 96u, 96u, 401u, 218u, 1u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::CoinHiding, 48u, 7u,
+         218u, 179145u, 681653u, 96u, 96u, 401u, 218u, 1u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::CoinHiding, 96u, 1u,
+         299u, 616613u, 3036156u, 192u, 192u, 2333u, 299u, 3u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::CoinHiding, 96u, 7u,
+         299u, 620819u, 3107465u, 474u, 474u, 2105u, 299u, 3u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::CoinHiding, 160u, 1u,
+         362u, 1380052u, 7797589u, 320u, 320u, 5484u, 362u, 5u, 0u},
+        GoldenRow{harness::Algo::Optimal, harness::Attack::CoinHiding, 160u, 7u,
+         362u, 1384651u, 7808908u, 320u, 320u, 5475u, 362u, 5u, 0u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::None, 48u, 1u,
+         3u, 6768u, 624912u, 0u, 0u, 0u, 3u, 0u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::None, 48u, 7u,
+         3u, 6768u, 624912u, 0u, 0u, 0u, 3u, 0u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::None, 96u, 1u,
+         5u, 27360u, 5882400u, 0u, 0u, 0u, 5u, 0u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::None, 96u, 7u,
+         5u, 27360u, 5882400u, 0u, 0u, 0u, 5u, 0u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::None, 160u, 1u,
+         7u, 76320u, 30248160u, 0u, 0u, 0u, 7u, 0u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::None, 160u, 7u,
+         7u, 76320u, 30248160u, 0u, 0u, 0u, 7u, 0u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::RandomOmission, 48u, 1u,
+         3u, 6768u, 603856u, 0u, 0u, 239u, 3u, 1u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::RandomOmission, 48u, 7u,
+         3u, 6768u, 601224u, 0u, 0u, 226u, 3u, 1u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::RandomOmission, 96u, 1u,
+         5u, 36480u, 5891520u, 0u, 0u, 1807u, 5u, 3u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::RandomOmission, 96u, 7u,
+         5u, 36385u, 5891425u, 0u, 0u, 1778u, 5u, 3u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::RandomOmission, 160u, 1u,
+         7u, 101760u, 30273600u, 0u, 0u, 5028u, 7u, 5u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::RandomOmission, 160u, 7u,
+         7u, 101760u, 30273600u, 0u, 0u, 4984u, 7u, 5u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::GroupKiller, 48u, 1u,
+         3u, 6721u, 607663u, 0u, 0u, 235u, 3u, 1u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::GroupKiller, 48u, 7u,
+         3u, 6721u, 607663u, 0u, 0u, 235u, 3u, 1u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::GroupKiller, 96u, 1u,
+         5u, 27075u, 5637965u, 0u, 0u, 1407u, 5u, 3u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::GroupKiller, 96u, 7u,
+         5u, 27075u, 5637965u, 0u, 0u, 1407u, 5u, 3u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::GroupKiller, 160u, 1u,
+         7u, 75525u, 28961691u, 0u, 0u, 3915u, 7u, 5u, 1u},
+        GoldenRow{harness::Algo::FloodSet, harness::Attack::GroupKiller, 160u, 7u,
+         7u, 75525u, 28961691u, 0u, 0u, 3915u, 7u, 5u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::None, 48u, 1u,
+         424u, 95424u, 213326u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::None, 48u, 7u,
+         424u, 95424u, 213434u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::None, 96u, 1u,
+         744u, 422176u, 1130080u, 24u, 24u, 0u, 744u, 0u, 0u},
+        GoldenRow{harness::Algo::Param, harness::Attack::None, 96u, 7u,
+         744u, 422176u, 1131418u, 0u, 0u, 0u, 744u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::None, 160u, 1u,
+         944u, 998528u, 2813456u, 80u, 80u, 0u, 944u, 0u, 0u},
+        GoldenRow{harness::Algo::Param, harness::Attack::None, 160u, 7u,
+         944u, 998528u, 2805782u, 0u, 0u, 0u, 944u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::RandomOmission, 48u, 1u,
+         424u, 95424u, 213326u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::RandomOmission, 48u, 7u,
+         424u, 95424u, 213434u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::RandomOmission, 96u, 1u,
+         744u, 414757u, 1109710u, 24u, 24u, 372u, 744u, 1u, 0u},
+        GoldenRow{harness::Algo::Param, harness::Attack::RandomOmission, 96u, 7u,
+         744u, 412984u, 1104582u, 0u, 0u, 346u, 744u, 1u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::RandomOmission, 160u, 1u,
+         944u, 979824u, 2760297u, 78u, 78u, 1276u, 944u, 2u, 0u},
+        GoldenRow{harness::Algo::Param, harness::Attack::RandomOmission, 160u, 7u,
+         944u, 975552u, 2742796u, 0u, 0u, 1160u, 944u, 2u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::GroupKiller, 48u, 1u,
+         424u, 95424u, 213326u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::GroupKiller, 48u, 7u,
+         424u, 95424u, 213434u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::GroupKiller, 96u, 1u,
+         744u, 414106u, 1108946u, 0u, 0u, 545u, 744u, 1u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::GroupKiller, 96u, 7u,
+         744u, 414106u, 1109444u, 0u, 0u, 545u, 744u, 1u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::GroupKiller, 160u, 1u,
+         944u, 978358u, 2755458u, 76u, 76u, 1650u, 944u, 2u, 0u},
+        GoldenRow{harness::Algo::Param, harness::Attack::GroupKiller, 160u, 7u,
+         944u, 978358u, 2750158u, 0u, 0u, 1650u, 944u, 2u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::CoinHiding, 48u, 1u,
+         424u, 95424u, 213326u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::CoinHiding, 48u, 7u,
+         424u, 95424u, 213434u, 0u, 0u, 0u, 424u, 0u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::CoinHiding, 96u, 1u,
+         744u, 414808u, 1110386u, 24u, 24u, 509u, 744u, 1u, 0u},
+        GoldenRow{harness::Algo::Param, harness::Attack::CoinHiding, 96u, 7u,
+         744u, 413633u, 1109585u, 0u, 0u, 562u, 744u, 1u, 1u},
+        GoldenRow{harness::Algo::Param, harness::Attack::CoinHiding, 160u, 1u,
+         944u, 981250u, 2767418u, 80u, 80u, 1458u, 944u, 2u, 0u},
+        GoldenRow{harness::Algo::Param, harness::Attack::CoinHiding, 160u, 7u,
+         944u, 976063u, 2743372u, 0u, 0u, 1659u, 944u, 2u, 1u}
+    ),
+    [](const ::testing::TestParamInfo<GoldenRow>& info) {
+      const auto& g = info.param;
+      std::string name;
+      switch (g.algo) {
+        case harness::Algo::Optimal: name = "Optimal"; break;
+        case harness::Algo::FloodSet: name = "FloodSet"; break;
+        case harness::Algo::Param: name = "Param"; break;
+        default: name = "Other"; break;
+      }
+      switch (g.attack) {
+        case harness::Attack::None: name += "None"; break;
+        case harness::Attack::RandomOmission: name += "RandOmit"; break;
+        case harness::Attack::GroupKiller: name += "GroupKiller"; break;
+        case harness::Attack::CoinHiding: name += "CoinHiding"; break;
+        default: name += "Other"; break;
+      }
+      return name + "N" + std::to_string(g.n) + "Seed" +
+             std::to_string(g.seed);
+    });
+
+}  // namespace
+}  // namespace omx

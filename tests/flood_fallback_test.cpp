@@ -28,9 +28,10 @@ void drive(FloodFallback& fb, std::uint32_t n,
       for (const auto& w : wire) {
         if (w.to == m) inbox.push_back(In{w.from, &w.msg});
       }
-      fb.step(m, r, inbox, [&](std::uint32_t to, Msg msg) {
+      FnOutbox out(n, m, [&](std::uint32_t to, Msg msg) {
         if (!drop(m, to, r)) next_wire.push_back(Wire{m, to, std::move(msg)});
       });
+      fb.step(m, r, inbox, out);
     }
     wire.swap(next_wire);
   }
@@ -118,9 +119,8 @@ TEST(FloodFallback, ValidityUnderFaultyDissenters) {
 TEST(FloodFallback, StepValidatesRoundRange) {
   FloodFallback fb(2, 0);
   std::vector<In> empty;
-  EXPECT_THROW(
-      fb.step(0, fb.total_rounds(), empty, [](std::uint32_t, Msg) {}),
-      PreconditionError);
+  FnOutbox out(2, 0, [](std::uint32_t, Msg) {});
+  EXPECT_THROW(fb.step(0, fb.total_rounds(), empty, out), PreconditionError);
 }
 
 TEST(FloodFallback, DecisionQueryRequiresDecision) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "core/params.h"
 #include "expsup/parallel.h"
@@ -32,6 +33,29 @@ TEST(Parallel, WorkerCountBounds) {
   EXPECT_GE(worker_count(1), 1u);
   EXPECT_LE(worker_count(1), 1u);
   EXPECT_GE(worker_count(1000), 1u);
+}
+
+TEST(Parallel, WorkerExceptionRethrownOnCallingThread) {
+  // A throwing worker used to std::terminate the whole process; the pool
+  // must instead cancel remaining work, join, and rethrow the first error.
+  std::vector<int> items(64);
+  std::iota(items.begin(), items.end(), 0);
+  EXPECT_THROW(parallel_map(items,
+                            [](int x) {
+                              if (x == 13) throw std::runtime_error("boom");
+                              return x;
+                            }),
+               std::runtime_error);
+}
+
+TEST(Parallel, ExceptionMessagePreserved) {
+  std::vector<int> items = {1};
+  try {
+    parallel_map(items, [](int) -> int { throw std::runtime_error("exact"); });
+    FAIL() << "expected parallel_map to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "exact");
+  }
 }
 
 TEST(Parallel, ExperimentRunsMatchSerialExactly) {

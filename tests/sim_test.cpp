@@ -180,6 +180,93 @@ TEST(Runner, RandomnessBilledToMetrics) {
   EXPECT_EQ(ledger.calls(), 3u);
 }
 
+/// Round 0: process 1 broadcasts including itself, process 2 broadcasts
+/// excluding itself, process 0 multicasts to {3, 1}. Round 1: consume.
+class FanOutMachine final : public Machine<Ping> {
+ public:
+  std::uint32_t num_processes() const override { return 4; }
+  void begin_round(std::uint32_t r) override { cur_ = r; }
+  void round(ProcessId p, RoundIo<Ping>& io) override {
+    for (const auto& m : io.inbox()) {
+      received_[p].push_back(m.from * 1000 + m.payload.value);
+    }
+    if (cur_ == 0) {
+      if (p == 0) {
+        const ProcessId targets[] = {3, 1};
+        io.send_to(targets, Ping{7});
+      } else if (p == 1) {
+        io.send_to_all(Ping{11}, /*include_self=*/true);
+      } else if (p == 2) {
+        io.send_to_all(Ping{22});
+      }
+    }
+  }
+  bool finished() const override { return cur_ >= 1; }
+  std::uint32_t cur_ = 0;
+  std::vector<std::uint32_t> received_[4];
+};
+
+TEST(Runner, BroadcastFanOutMatchesUnicastOrderAndAccounting) {
+  rng::Ledger ledger(4, 1);
+  adversary::NullAdversary<Ping> adv;
+  Runner<Ping> runner(4, 0, &ledger, &adv);
+  FanOutMachine m;
+  const auto rr = runner.run(m);
+  // Inbox order must equal global send order: process 0's multicast
+  // records first, then 1's broadcast, then 2's.
+  EXPECT_EQ(m.received_[0],
+            (std::vector<std::uint32_t>{1011, 2022}));  // not 0's own
+  EXPECT_EQ(m.received_[1], (std::vector<std::uint32_t>{7, 1011, 2022}));
+  EXPECT_EQ(m.received_[2],
+            (std::vector<std::uint32_t>{1011}));  // excl. self broadcast
+  EXPECT_EQ(m.received_[3], (std::vector<std::uint32_t>{7, 1011, 2022}));
+  // 2 multicast + 4 incl-self broadcast + 3 excl-self broadcast.
+  EXPECT_EQ(rr.metrics.messages, 9u);
+  EXPECT_EQ(rr.metrics.comm_bits, 72u);
+  EXPECT_EQ(rr.metrics.omitted, 0u);
+}
+
+/// Drops exactly one fanned-out copy of process 1's broadcast (the copy
+/// addressed to process 3) after corrupting the sender.
+class FanOutDropper final : public Adversary<Ping> {
+ public:
+  void intervene(AdversaryContext<Ping>& ctx) override {
+    for (std::uint32_t i = 0; i < ctx.num_messages(); ++i) {
+      if (ctx.from(i) == 1 && ctx.to(i) == 3) {
+        ctx.corrupt(1);
+        ctx.drop(i);
+      }
+    }
+  }
+};
+
+TEST(Runner, DroppingOneFanOutCopyLeavesSiblingsDelivered) {
+  rng::Ledger ledger(4, 1);
+  FanOutDropper adv;
+  Runner<Ping> runner(4, 1, &ledger, &adv);
+  FanOutMachine m;
+  const auto rr = runner.run(m);
+  EXPECT_EQ(m.received_[0], (std::vector<std::uint32_t>{1011, 2022}));
+  EXPECT_EQ(m.received_[3], (std::vector<std::uint32_t>{7, 2022}));
+  // The dropped copy still counts as sent (and as omitted).
+  EXPECT_EQ(rr.metrics.messages, 9u);
+  EXPECT_EQ(rr.metrics.comm_bits, 72u);
+  EXPECT_EQ(rr.metrics.omitted, 1u);
+}
+
+TEST(Runner, EngineStatsCountRoundsAndPhases) {
+  rng::Ledger ledger(4, 1);
+  adversary::NullAdversary<Ping> adv;
+  EngineStats stats;
+  Runner<Ping>::Options opts;
+  opts.stats = &stats;
+  Runner<Ping> runner(4, 0, &ledger, &adv, opts);
+  RingMachine m(4, 3);
+  const auto rr = runner.run(m);
+  EXPECT_EQ(stats.rounds, rr.metrics.rounds);
+  EXPECT_GT(stats.compute_ns + stats.adversary_ns + stats.delivery_ns, 0u);
+}
+
 TEST(Runner, RequiresMatchingSizes) {
   rng::Ledger ledger(4, 1);
   adversary::NullAdversary<Ping> adv;
