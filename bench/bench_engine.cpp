@@ -1,12 +1,16 @@
 // Engine micro/meso-benchmark: wall-clock and per-phase (compute /
 // adversary / delivery) timings of full consensus runs through the
-// flat-buffer message plane. Writes BENCH_engine.json next to the working
+// flat-buffer message plane, plus a thread-scaling sweep over the sharded
+// computation phase. Writes BENCH_engine.json next to the working
 // directory (see EXPERIMENTS.md for how the numbers are regenerated).
 //
 // The workloads are chosen to stress the delivery substrate, not the
 // protocols: FloodSet is all-to-all with Θ(n)-sized payloads (the
 // worst-case wire volume per round), Optimal is tens of millions of small
-// messages (record-throughput bound).
+// messages (record-throughput bound). The thread sweep runs the same
+// workloads at 1/2/4/8 worker lanes — results are bit-identical by
+// construction (asserted in tests/determinism_matrix_test.cpp); only the
+// wall time may move, and only on multi-core hardware.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -15,6 +19,7 @@
 #include "core/params.h"
 #include "harness/experiment.h"
 #include "sim/runner.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -32,7 +37,7 @@ struct Sample {
   omx::sim::Metrics metrics;
 };
 
-Sample run_workload(const Workload& w) {
+Sample run_workload(const Workload& w, unsigned threads) {
   Sample best;
   for (int rep = 0; rep < w.reps; ++rep) {
     omx::harness::ExperimentConfig cfg;
@@ -42,6 +47,7 @@ Sample run_workload(const Workload& w) {
     cfg.t = omx::core::Params::max_t_optimal(w.n);
     cfg.inputs = omx::harness::InputPattern::Random;
     cfg.seed = 1;
+    cfg.threads = threads;
     omx::sim::EngineStats stats;
     cfg.engine_stats = &stats;
     const auto t0 = std::chrono::steady_clock::now();
@@ -49,9 +55,9 @@ Sample run_workload(const Workload& w) {
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
-    std::printf("  %-28s rep %d: %9.1f ms  (compute %6.0f | adversary %6.0f "
-                "| delivery %6.0f)\n",
-                w.name, rep, ms, stats.compute_ns / 1e6,
+    std::printf("  %-28s x%u rep %d: %9.1f ms  (compute %6.0f | adversary "
+                "%6.0f | delivery %6.0f)\n",
+                w.name, threads, rep, ms, stats.compute_ns / 1e6,
                 stats.adversary_ns / 1e6, stats.delivery_ns / 1e6);
     std::fflush(stdout);
     if (ms < best.wall_ms) {
@@ -86,10 +92,12 @@ int main(int argc, char** argv) {
   std::string json =
       "{\n  \"seed_engine_reference_ms\": {\"floodset/none/1024\": 5337.7, "
       "\"floodset/rand-omit/1024\": 5593.0, \"optimal/none/1024\": 3359.2},\n"
-      "  \"workloads\": [\n";
+      "  \"hardware_threads\": " +
+      std::to_string(omx::support::ThreadPool::hardware_threads()) +
+      ",\n  \"workloads\": [\n";
   bool first = true;
   for (const auto& w : workloads) {
-    const Sample s = run_workload(w);
+    const Sample s = run_workload(w, /*threads=*/1);
     char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
@@ -105,6 +113,44 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.metrics.omitted));
     json += buf;
     first = false;
+  }
+  json += "\n  ],\n  \"thread_sweep\": [\n";
+
+  // Thread-scaling sweep: the sharded computation phase at 1/2/4/8 lanes.
+  // stage/merge split the parallel compute phase; parallel_rounds counts
+  // rounds that actually took the sharded path (all of them, for unlimited
+  // rng budgets).
+  const std::vector<Workload> sweep = {
+      {"floodset/none/256", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 256, 3},
+      {"floodset/none/1024", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 1024, 2},
+      {"optimal/none/256", omx::harness::Algo::Optimal,
+       omx::harness::Attack::None, 256, 3},
+      {"optimal/none/1024", omx::harness::Algo::Optimal,
+       omx::harness::Attack::None, 1024, 2},
+  };
+  first = true;
+  for (const auto& w : sweep) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      const Sample s = run_workload(w, threads);
+      char buf[1024];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s    {\"name\": \"%s\", \"n\": %u, \"threads\": %u, "
+          "\"wall_ms\": %.1f, \"compute_ms\": %.1f, \"stage_ms\": %.1f, "
+          "\"merge_ms\": %.1f, \"adversary_ms\": %.1f, "
+          "\"delivery_ms\": %.1f, \"parallel_rounds\": %llu, "
+          "\"rounds\": %llu}",
+          first ? "" : ",\n", w.name, w.n, threads, s.wall_ms,
+          s.stats.compute_ns / 1e6, s.stats.stage_ns / 1e6,
+          s.stats.merge_ns / 1e6, s.stats.adversary_ns / 1e6,
+          s.stats.delivery_ns / 1e6,
+          static_cast<unsigned long long>(s.stats.parallel_rounds),
+          static_cast<unsigned long long>(s.stats.rounds));
+      json += buf;
+      first = false;
+    }
   }
   json += "\n  ]\n}\n";
 

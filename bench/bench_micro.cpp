@@ -29,6 +29,24 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_GraphNeighborScan(benchmark::State& state) {
+  // Full sweep over every adjacency list; with the CSR layout this walks
+  // one contiguous flat array instead of chasing per-vertex heap blocks.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::Params params;
+  const auto g = graph::CommGraph::common_for(n, params.delta(n));
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      for (const graph::Vertex u : g.neighbors(v)) acc += u;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_edges() * 2);
+}
+BENCHMARK(BM_GraphNeighborScan)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_GraphPeel(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const core::Params params;

@@ -43,7 +43,7 @@ void BenOrMachine::decide(sim::ProcessId p, std::uint8_t value) {
   s.decision = value;
   s.b = value;
   s.decision_round = static_cast<std::int64_t>(cur_round_);
-  ++terminated_count_;
+  terminated_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
@@ -53,7 +53,8 @@ void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
 
   if (r > fallback_start_) {
     // Fallback regime: decision gossip still short-circuits.
-    scratch_.clear();
+    auto& scratch = scratch_[io.lane()];
+    scratch.clear();
     for (const auto& msg : io.inbox()) {
       if (const auto* gm = std::get_if<core::GossipMsg>(&msg.payload)) {
         if (gm->value >= 0 && !s.terminated) {
@@ -61,11 +62,11 @@ void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
           return;
         }
       } else {
-        scratch_.push_back(core::In{msg.from, &msg.payload});
+        scratch.push_back(core::In{msg.from, &msg.payload});
       }
     }
     core::IoOutbox out(io);
-    fallback_.step(p, r - fallback_start_, scratch_, out);
+    fallback_.step(p, r - fallback_start_, scratch, out);
     if (fallback_.has_decision(p)) decide(p, fallback_.decision(p));
     return;
   }
@@ -115,9 +116,10 @@ void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
   } else {
     // r == fallback_start_: register and start flooding.
     fallback_.set_participant(p, s.b);
-    scratch_.clear();
+    auto& scratch = scratch_[io.lane()];
+    scratch.clear();
     core::IoOutbox out(io);
-    fallback_.step(p, 0, scratch_, out);
+    fallback_.step(p, 0, scratch, out);
   }
 }
 
@@ -129,7 +131,7 @@ bool BenOrMachine::finished() const {
     }
     return true;
   }
-  return terminated_count_ == n_;
+  return terminated_count_.load(std::memory_order_relaxed) == n_;
 }
 
 core::MemberOutcome BenOrMachine::outcome(sim::ProcessId p) const {

@@ -15,6 +15,7 @@
 // large t, even to disagreement; benches report both.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,7 @@ class BenOrMachine final : public sim::Machine<core::Msg>,
   core::MemberOutcome outcome(sim::ProcessId p) const;
 
   std::uint32_t num_processes() const override { return n_; }
+  void set_lanes(unsigned lanes) override { scratch_.resize(lanes); }
   void begin_round(std::uint32_t round) override;
   void round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) override;
   bool finished() const override;
@@ -77,11 +79,13 @@ class BenOrMachine final : public sim::Machine<core::Msg>,
   std::uint32_t total_rounds_ = 0;
   std::uint32_t cur_round_ = 0;
   std::uint32_t rounds_seen_ = 0;
-  std::uint32_t terminated_count_ = 0;
+  // Order-independent final value per round => relaxed atomic increments
+  // keep determinism under sharded stepping.
+  std::atomic<std::uint32_t> terminated_count_{0};
   bool votes_fresh_ = false;
   std::vector<PState> st_;
   core::FloodFallback fallback_;
-  std::vector<core::In> scratch_;
+  std::vector<std::vector<core::In>> scratch_{1};  // one buffer per lane
   const sim::FaultState* faults_ = nullptr;
 };
 

@@ -95,11 +95,12 @@ void DoublingGossipMachine::round(sim::ProcessId p,
     }
     // --- produce inquiries (finger-first contact window) ---
     if (!s.completed) {
-      scratch_targets_.clear();
+      auto& targets = scratch_targets_[io.lane()];
+      targets.clear();
       for (std::uint32_t k = 0; k < s.contacts; ++k) {
-        scratch_targets_.push_back((p + offsets_[k]) % n_);
+        targets.push_back((p + offsets_[k]) % n_);
       }
-      io.send_to(scratch_targets_, InquireMsg{});
+      io.send_to(targets, InquireMsg{});
     }
     return;
   }

@@ -71,6 +71,7 @@ class DoublingGossipMachine final : public sim::Machine<core::Msg> {
   }
 
   std::uint32_t num_processes() const override { return n_; }
+  void set_lanes(unsigned lanes) override { scratch_targets_.resize(lanes); }
   void begin_round(std::uint32_t round) override;
   void round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) override;
   bool finished() const override;
@@ -96,7 +97,8 @@ class DoublingGossipMachine final : public sim::Machine<core::Msg> {
   std::uint32_t rounds_seen_ = 0;
   std::vector<PState> st_;
   std::vector<std::uint32_t> offsets_;  // contact order (fingers first)
-  std::vector<sim::ProcessId> scratch_targets_;  // inquiry multicast list
+  // Inquiry multicast list, one per engine lane.
+  std::vector<std::vector<sim::ProcessId>> scratch_targets_{1};
   std::vector<std::uint8_t> inputs_;
   const sim::FaultState* faults_ = nullptr;
   bool crash_semantics_ = false;

@@ -24,17 +24,18 @@ void FloodSetMachine::begin_round(std::uint32_t round) {
 void FloodSetMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
   auto& s = st_[p];
   if (s.terminated) return;
-  scratch_.clear();
+  auto& scratch = scratch_[io.lane()];
+  scratch.clear();
   for (const auto& msg : io.inbox()) {
-    scratch_.push_back(core::In{msg.from, &msg.payload});
+    scratch.push_back(core::In{msg.from, &msg.payload});
   }
   core::IoOutbox out(io);
-  fallback_.step(p, cur_round_, scratch_, out);
+  fallback_.step(p, cur_round_, scratch, out);
   if (fallback_.has_decision(p)) {
     s.terminated = true;
     s.decision = fallback_.decision(p);
     s.decision_round = static_cast<std::int64_t>(cur_round_);
-    ++terminated_count_;
+    terminated_count_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -46,7 +47,7 @@ bool FloodSetMachine::finished() const {
     }
     return true;
   }
-  return terminated_count_ == n_;
+  return terminated_count_.load(std::memory_order_relaxed) == n_;
 }
 
 core::MemberOutcome FloodSetMachine::outcome(sim::ProcessId p) const {

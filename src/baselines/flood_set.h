@@ -6,6 +6,7 @@
 // by ~√n and on bits by ~t/polylog — exactly the separation Table 1 claims.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -26,6 +27,7 @@ class FloodSetMachine final : public sim::Machine<core::Msg> {
   core::MemberOutcome outcome(sim::ProcessId p) const;
 
   std::uint32_t num_processes() const override { return n_; }
+  void set_lanes(unsigned lanes) override { scratch_.resize(lanes); }
   void begin_round(std::uint32_t round) override;
   void round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) override;
   bool finished() const override;
@@ -42,8 +44,10 @@ class FloodSetMachine final : public sim::Machine<core::Msg> {
   std::vector<PState> st_;
   std::uint32_t cur_round_ = 0;
   std::uint32_t rounds_seen_ = 0;
-  std::uint32_t terminated_count_ = 0;
-  std::vector<core::In> scratch_;
+  // Incremented from concurrently stepped processes; the final per-round
+  // value is order-independent, so relaxed increments keep determinism.
+  std::atomic<std::uint32_t> terminated_count_{0};
+  std::vector<std::vector<core::In>> scratch_{1};  // one buffer per lane
   const sim::FaultState* faults_ = nullptr;
 };
 

@@ -55,12 +55,13 @@ void MultiValueMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
   const std::uint32_t pr = cur_round_ % phase_len_;
 
   if (pr < inner_len_) {
-    scratch_.clear();
+    auto& scratch = scratch_[io.lane()];
+    scratch.clear();
     for (const auto& msg : io.inbox()) {
-      scratch_.push_back(In{msg.from, &msg.payload});
+      scratch.push_back(In{msg.from, &msg.payload});
     }
     IoOutbox out(io);
-    inner_->step(p, scratch_, out, io.rng());
+    inner_->step(p, scratch, out, io.rng());
     return;
   }
 

@@ -61,6 +61,7 @@ class MultiValueMachine final : public sim::Machine<Msg> {
   MultiValueOutcome outcome(sim::ProcessId p) const;
 
   std::uint32_t num_processes() const override { return n_; }
+  void set_lanes(unsigned lanes) override { scratch_.resize(lanes); }
   void begin_round(std::uint32_t round) override;
   void round(sim::ProcessId p, sim::RoundIo<Msg>& io) override;
   bool finished() const override;
@@ -92,7 +93,7 @@ class MultiValueMachine final : public sim::Machine<Msg> {
   std::vector<PState> st_;
   std::unique_ptr<OptimalCore> inner_;
   std::uint32_t inner_phase_ = UINT32_MAX;
-  std::vector<In> scratch_;
+  std::vector<std::vector<In>> scratch_{1};  // one buffer per lane
   const sim::FaultState* faults_ = nullptr;
 };
 

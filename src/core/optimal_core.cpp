@@ -153,7 +153,7 @@ void OptimalCore::decide(std::uint32_t m, std::uint8_t value) {
   s.decision = value;
   s.b = value;
   s.decision_round = static_cast<std::int64_t>(cur_round_);
-  ++terminated_count_;
+  terminated_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint32_t OptimalCore::neighbor_slot(std::uint32_t m,
@@ -529,12 +529,13 @@ void OptimalMachine::begin_round(std::uint32_t round) {
 }
 
 void OptimalMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
-  scratch_in_.clear();
+  auto& scratch = scratch_in_[io.lane()];
+  scratch.clear();
   for (const auto& msg : io.inbox()) {
-    scratch_in_.push_back(In{msg.from, &msg.payload});
+    scratch.push_back(In{msg.from, &msg.payload});
   }
   IoOutbox out(io);
-  core_.step(p, scratch_in_, out, io.rng());
+  core_.step(p, scratch, out, io.rng());
 }
 
 bool OptimalMachine::finished() const {

@@ -22,6 +22,7 @@
 // simulator and exposes the VoteProbe for the Theorem-2 adversary.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -81,8 +82,10 @@ class OptimalCore {
   void step(std::uint32_t m, std::span<const In> inbox, Outbox& send,
             rng::Source& rng);
 
-  bool all_terminated() const { return terminated_count_ == m_; }
-  std::uint32_t terminated_count() const { return terminated_count_; }
+  bool all_terminated() const { return terminated_count() == m_; }
+  std::uint32_t terminated_count() const {
+    return terminated_count_.load(std::memory_order_relaxed);
+  }
   MemberOutcome outcome(std::uint32_t m) const;
 
   // --- probe / test / experiment introspection ---
@@ -199,7 +202,11 @@ class OptimalCore {
   std::uint32_t cur_round_ = 0;
   bool votes_fresh_ = false;
   bool pending_epoch_record_ = false;
-  std::uint32_t terminated_count_ = 0;
+  // step() runs for different members concurrently under a sharded engine;
+  // the per-round final count is order-independent, so relaxed increments
+  // keep determinism. (The core is never copied: OptimalMachine embeds it,
+  // Param/MultiValue hold it behind unique_ptr.)
+  std::atomic<std::uint32_t> terminated_count_{0};
 
   std::vector<MemberState> st_;
   FloodFallback fallback_;
@@ -222,6 +229,7 @@ class OptimalMachine final : public sim::Machine<Msg>,
 
   // sim::Machine
   std::uint32_t num_processes() const override { return core_.num_members(); }
+  void set_lanes(unsigned lanes) override { scratch_in_.resize(lanes); }
   void begin_round(std::uint32_t round) override;
   void round(sim::ProcessId p, sim::RoundIo<Msg>& io) override;
   bool finished() const override;
@@ -242,7 +250,7 @@ class OptimalMachine final : public sim::Machine<Msg>,
   OptimalCore core_;
   const sim::FaultState* faults_ = nullptr;
   std::uint32_t rounds_seen_ = 0;
-  std::vector<In> scratch_in_;
+  std::vector<std::vector<In>> scratch_in_{1};  // one buffer per lane
 };
 
 }  // namespace omx::core

@@ -142,7 +142,7 @@ void ParamMachine::decide(sim::ProcessId p, std::uint8_t value) {
   s.decision = value;
   s.b = value;
   s.decision_round = static_cast<std::int64_t>(cur_round_);
-  ++terminated_count_;
+  terminated_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint32_t ParamMachine::neighbor_slot(sim::ProcessId p,
@@ -240,11 +240,12 @@ void ParamMachine::produce(sim::ProcessId p, const Phase& cur,
     case Kind::Gossip: {
       if (!s.operative) break;
       const auto nb = graph_->neighbors(p);
-      scratch_targets_.clear();
+      auto& targets = scratch_targets_[io.lane()];
+      targets.clear();
       for (std::uint32_t slot = 0; slot < nb.size(); ++slot) {
-        if (!s.link_dead[slot]) scratch_targets_.push_back(nb[slot]);
+        if (!s.link_dead[slot]) targets.push_back(nb[slot]);
       }
-      io.send_to(scratch_targets_, GossipMsg{s.consensus_decision});
+      io.send_to(targets, GossipMsg{s.consensus_decision});
       break;
     }
     case Kind::SafetySend: {
@@ -274,13 +275,14 @@ void ParamMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
   if (s.terminated) return;
   const Phase cur = phase_of(cur_round_);
 
+  auto& inbox_scratch = inner_inbox_[io.lane()];
   if (cur.kind == Kind::Fallback) {
-    inner_inbox_.clear();
+    inbox_scratch.clear();
     for (const auto& msg : io.inbox()) {
-      inner_inbox_.push_back(In{msg.from, &msg.payload});
+      inbox_scratch.push_back(In{msg.from, &msg.payload});
     }
     IoOutbox out(io);
-    fallback_.step(p, cur.fallback_round, inner_inbox_, out);
+    fallback_.step(p, cur.fallback_round, inbox_scratch, out);
     if (fallback_.has_decision(p)) decide(p, fallback_.decision(p));
     return;
   }
@@ -289,23 +291,23 @@ void ParamMachine::round(sim::ProcessId p, sim::RoundIo<Msg>& io) {
     const std::uint32_t lo = cur.phase * group_width_;
     const std::uint32_t hi = std::min(n_, lo + group_width_);
     if (p < lo || p >= hi || !s.operative) return;  // idle (line 6 / 10)
-    inner_inbox_.clear();
+    inbox_scratch.clear();
     for (const auto& msg : io.inbox()) {
       OMX_CHECK(msg.from >= lo && msg.from < hi,
                 "non-member message during an inner run");
-      inner_inbox_.push_back(In{msg.from - lo, &msg.payload});
+      inbox_scratch.push_back(In{msg.from - lo, &msg.payload});
     }
-    IoOutbox out(io, inner_members_, &scratch_targets_);
-    inner_->step(p - lo, inner_inbox_, out, io.rng());
+    IoOutbox out(io, inner_members_, &scratch_targets_[io.lane()]);
+    inner_->step(p - lo, inbox_scratch, out, io.rng());
     return;
   }
 
   if (cur_round_ > 0) {
-    inner_inbox_.clear();
+    inbox_scratch.clear();
     for (const auto& msg : io.inbox()) {
-      inner_inbox_.push_back(In{msg.from, &msg.payload});
+      inbox_scratch.push_back(In{msg.from, &msg.payload});
     }
-    consume(p, phase_of(cur_round_ - 1), inner_inbox_);
+    consume(p, phase_of(cur_round_ - 1), inbox_scratch);
   }
   if (!st_[p].terminated && cur.kind != Kind::Done) {
     produce(p, cur, io);
@@ -320,7 +322,7 @@ bool ParamMachine::finished() const {
     }
     return true;
   }
-  return terminated_count_ == n_;
+  return terminated_count_.load(std::memory_order_relaxed) == n_;
 }
 
 MemberOutcome ParamMachine::outcome(sim::ProcessId p) const {

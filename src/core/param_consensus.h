@@ -15,6 +15,7 @@
 // the T × R = Θ̃(n²) spectrum of Table 1 row "Thm 3".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -60,6 +61,10 @@ class ParamMachine final : public sim::Machine<Msg>,
 
   // sim::Machine
   std::uint32_t num_processes() const override { return n_; }
+  void set_lanes(unsigned lanes) override {
+    inner_inbox_.resize(lanes);
+    scratch_targets_.resize(lanes);
+  }
   void begin_round(std::uint32_t round) override;
   void round(sim::ProcessId p, sim::RoundIo<Msg>& io) override;
   bool finished() const override;
@@ -130,7 +135,9 @@ class ParamMachine final : public sim::Machine<Msg>,
 
   std::uint32_t cur_round_ = 0;
   std::uint32_t rounds_seen_ = 0;
-  std::uint32_t terminated_count_ = 0;
+  // Order-independent per-round final value => relaxed increments keep
+  // determinism under sharded stepping.
+  std::atomic<std::uint32_t> terminated_count_{0};
 
   std::vector<PState> st_;
   FloodFallback fallback_;
@@ -139,8 +146,9 @@ class ParamMachine final : public sim::Machine<Msg>,
   std::unique_ptr<OptimalCore> inner_;
   std::uint32_t inner_phase_ = UINT32_MAX;
   std::vector<std::uint32_t> inner_members_;  // global ids of active SP
-  std::vector<In> inner_inbox_;               // scratch
-  std::vector<sim::ProcessId> scratch_targets_;  // multicast translation
+  // Per-lane scratch (one entry per engine worker lane).
+  std::vector<std::vector<In>> inner_inbox_{1};
+  std::vector<std::vector<sim::ProcessId>> scratch_targets_{1};
 
   const sim::FaultState* faults_ = nullptr;
 };

@@ -1,33 +1,39 @@
 // Deterministic parallel sweeps for the bench harness.
 //
-// parallel_map runs `fn(items[i])` across a small thread pool and returns
-// results in input order — experiment runs are independent (each builds
-// its own ledger/machine/adversary from its own seed), so parallelism
-// changes wall time only, never a number in a table.
+// parallel_map runs `fn(items[i])` across the process-wide shared
+// support::ThreadPool and returns results in input order — experiment runs
+// are independent (each builds its own ledger/machine/adversary from its
+// own seed), so parallelism changes wall time only, never a number in a
+// table. Calls from inside a pool lane (nested sweeps) degrade to inline
+// execution rather than deadlocking — see ThreadPool::run.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/thread_pool.h"
+
 namespace omx::expsup {
 
-/// Number of workers used by parallel_map (hardware concurrency, capped).
+/// Number of workers used by parallel_map (hardware concurrency, capped at
+/// the item count). Item counts above UINT_MAX must not wrap the cast —
+/// compare in std::size_t first.
 inline unsigned worker_count(std::size_t items) {
+  if (items == 0) return 1;
   const unsigned hw = std::thread::hardware_concurrency();
   const unsigned cap = hw == 0 ? 2 : hw;
-  const auto want = static_cast<unsigned>(items);
-  return want < cap ? (want == 0 ? 1 : want) : cap;
+  return items < cap ? static_cast<unsigned>(items) : cap;
 }
 
-/// Apply `fn` to every item; results in input order. If a worker throws,
-/// the first exception is captured, the remaining work is cancelled, all
-/// workers are joined, and the exception is rethrown on the calling thread
-/// (instead of std::terminate tearing the process down from a worker).
+/// Apply `fn` to every item; results in input order. Work is striped over
+/// the shared pool with an atomic cursor, so uneven item costs balance. If
+/// a worker throws, the first exception is rethrown on the calling thread
+/// once all lanes finished (instead of std::terminate tearing the process
+/// down from a worker).
 template <class In, class Fn>
 auto parallel_map(const std::vector<In>& items, Fn fn)
     -> std::vector<decltype(fn(items[0]))> {
@@ -37,7 +43,7 @@ auto parallel_map(const std::vector<In>& items, Fn fn)
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
-  auto worker = [&]() {
+  support::ThreadPool::shared().run([&](unsigned /*lane*/) {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= items.size()) return;
@@ -48,17 +54,12 @@ auto parallel_map(const std::vector<In>& items, Fn fn)
           std::lock_guard<std::mutex> lock(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        // Drain the queue so every worker exits promptly.
+        // Drain the queue so every lane exits promptly.
         next.store(items.size());
         return;
       }
     }
-  };
-  const unsigned workers = worker_count(items.size());
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  });
   if (first_error) std::rethrow_exception(first_error);
   return results;
 }

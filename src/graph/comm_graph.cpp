@@ -1,6 +1,7 @@
 #include "graph/comm_graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <mutex>
@@ -11,11 +12,12 @@
 
 namespace omx::graph {
 
-CommGraph::CommGraph(std::vector<std::vector<Vertex>> adjacency)
-    : adj_(std::move(adjacency)) {
-  const auto n = static_cast<Vertex>(adj_.size());
+CommGraph::CommGraph(std::vector<std::vector<Vertex>> adjacency) {
+  const auto n = static_cast<Vertex>(adjacency.size());
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
   for (Vertex v = 0; v < n; ++v) {
-    auto& nb = adj_[v];
+    auto& nb = adjacency[v];
     std::sort(nb.begin(), nb.end());
     OMX_REQUIRE(std::adjacent_find(nb.begin(), nb.end()) == nb.end(),
                 "duplicate edge in adjacency list");
@@ -23,12 +25,18 @@ CommGraph::CommGraph(std::vector<std::vector<Vertex>> adjacency)
       OMX_REQUIRE(u < n, "neighbor out of range");
       OMX_REQUIRE(u != v, "self-loop in adjacency list");
     }
+    offsets_[v + 1] = offsets_[v] + static_cast<std::uint32_t>(nb.size());
     num_edges_ += nb.size();
+  }
+  flat_.reserve(offsets_[n]);
+  for (Vertex v = 0; v < n; ++v) {
+    flat_.insert(flat_.end(), adjacency[v].begin(), adjacency[v].end());
   }
   // Symmetry check (binary search per directed edge).
   for (Vertex v = 0; v < n; ++v) {
-    for (Vertex u : adj_[v]) {
-      OMX_REQUIRE(std::binary_search(adj_[u].begin(), adj_[u].end(), v),
+    for (Vertex u : neighbors(v)) {
+      const auto nb = neighbors(u);
+      OMX_REQUIRE(std::binary_search(nb.begin(), nb.end(), v),
                   "adjacency is not symmetric");
     }
   }
@@ -37,7 +45,7 @@ CommGraph::CommGraph(std::vector<std::vector<Vertex>> adjacency)
 
 bool CommGraph::has_edge(Vertex u, Vertex v) const {
   OMX_REQUIRE(u < n() && v < n(), "vertex out of range");
-  const auto& nb = adj_[u];
+  const auto nb = neighbors(u);
   return std::binary_search(nb.begin(), nb.end(), v);
 }
 
@@ -98,25 +106,37 @@ CommGraph CommGraph::common_for(std::uint32_t n, std::uint32_t delta) {
   return erdos_renyi(n, p, seed);
 }
 
+namespace {
+struct CacheEntry {
+  std::once_flag once;
+  std::shared_ptr<const CommGraph> graph;
+};
+std::atomic<std::uint64_t> shared_builds{0};
+}  // namespace
+
 std::shared_ptr<const CommGraph> CommGraph::common_for_shared(
     std::uint32_t n, std::uint32_t delta) {
   using Key = std::pair<std::uint32_t, std::uint32_t>;
   static std::mutex mu;
-  static std::map<Key, std::shared_ptr<const CommGraph>> cache;
+  static std::map<Key, CacheEntry> cache;  // node-stable addresses
 
-  const Key key{n, delta};
+  CacheEntry* entry;
   {
     std::lock_guard<std::mutex> lock(mu);
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
+    entry = &cache[Key{n, delta}];
   }
-  // Generate outside the lock: graph construction is the expensive part and
-  // the function is deterministic, so a racing duplicate is harmless — the
-  // first insert wins and the loser's copy is discarded.
-  auto built = std::make_shared<const CommGraph>(common_for(n, delta));
-  std::lock_guard<std::mutex> lock(mu);
-  const auto [it, inserted] = cache.emplace(key, std::move(built));
-  return it->second;
+  // Build outside the map lock (construction is the expensive part), but
+  // exactly once per key: concurrent first touches collapse into one build,
+  // the losers block here until the graph is ready.
+  std::call_once(entry->once, [&] {
+    entry->graph = std::make_shared<const CommGraph>(common_for(n, delta));
+    shared_builds.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry->graph;
+}
+
+std::uint64_t CommGraph::common_for_shared_builds() {
+  return shared_builds.load(std::memory_order_relaxed);
 }
 
 }  // namespace omx::graph

@@ -223,6 +223,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   opts.max_rounds =
       cfg.max_rounds ? cfg.max_rounds : schedule_hint + cfg.n + 16;
   opts.stats = cfg.engine_stats;
+  opts.threads = cfg.threads;
   sim::Runner<Msg> runner(cfg.n, cfg.t, &ledger, adversary.get(), opts);
 
   // Wire termination to the non-faulty set (the spec's termination clause).

@@ -67,6 +67,10 @@ struct ExperimentConfig {
   double drop_prob = 0.8;
   /// Engine safety cap; 0 = machine schedule + slack.
   std::uint64_t max_rounds = 0;
+  /// Worker lanes for the engine's computation phase: 1 = serial (default),
+  /// 0 = one lane per hardware thread, k = exactly k lanes. Results are
+  /// bit-identical at every setting.
+  unsigned threads = 1;
   /// Optional per-phase engine timing sink (bench_engine); nullptr = off.
   sim::EngineStats* engine_stats = nullptr;
 };

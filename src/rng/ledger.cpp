@@ -4,6 +4,21 @@
 
 namespace omx::rng {
 
+namespace {
+/// used + headroom <= budget, with unlimited budgets and overflowing
+/// headroom handled saturatingly.
+bool fits(std::uint64_t used, std::uint64_t per_source_slack,
+          std::uint64_t num_sources, std::uint64_t budget) {
+  if (budget == kUnlimited) return true;
+  if (used > budget) return false;
+  if (per_source_slack != 0 &&
+      num_sources > (kUnlimited - 1) / per_source_slack) {
+    return false;  // headroom overflows uint64 — cannot possibly fit
+  }
+  return budget - used >= per_source_slack * num_sources;
+}
+}  // namespace
+
 Ledger::Ledger(std::uint32_t num_processes, std::uint64_t master_seed) {
   OMX_REQUIRE(num_processes > 0, "ledger needs at least one process");
   sources_.reserve(num_processes);
@@ -11,6 +26,7 @@ Ledger::Ledger(std::uint32_t num_processes, std::uint64_t master_seed) {
     // Independent stream per process: hash (master_seed, p).
     sources_.push_back(Source(this, p, mix64(master_seed, p)));
   }
+  racks_.resize(num_processes);
 }
 
 Source& Ledger::source(std::uint32_t process) {
@@ -18,7 +34,53 @@ Source& Ledger::source(std::uint32_t process) {
   return sources_[process];
 }
 
-void Ledger::bill(std::uint64_t drawn_bits) {
+bool Ledger::racked_admissible(std::uint64_t slack_calls,
+                               std::uint64_t slack_bits) const {
+  if (racked_) return false;
+  const std::uint64_t n = num_processes();
+  return fits(calls_, slack_calls, n, call_budget_) &&
+         fits(bits_, slack_bits, n, bit_budget_);
+}
+
+void Ledger::begin_racked_phase() {
+  OMX_REQUIRE(!racked_, "racked phase already open");
+  racked_ = true;
+}
+
+void Ledger::end_racked_phase(std::uint64_t slack_calls,
+                              std::uint64_t slack_bits) {
+  OMX_REQUIRE(racked_, "no racked phase open");
+  racked_ = false;
+  const bool bounded =
+      call_budget_ != kUnlimited || bit_budget_ != kUnlimited;
+  std::uint64_t calls = 0, bits = 0;
+  for (Rack& r : racks_) {
+    if (bounded) {
+      // The slack bound is what made admits() == true sound during the
+      // phase; a source that outgrew it must fail loudly, not silently
+      // diverge from the serial budget-exhaustion point.
+      OMX_CHECK(r.calls <= slack_calls && r.bits <= slack_bits,
+                "racked draw exceeded the per-source slack bound (" +
+                    std::to_string(r.calls) + " calls / " +
+                    std::to_string(r.bits) +
+                    " bits); raise the runner's rng slack or run serially");
+    }
+    calls += r.calls;
+    bits += r.bits;
+    r.calls = 0;
+    r.bits = 0;
+  }
+  calls_ += calls;
+  bits_ += bits;
+}
+
+void Ledger::bill(std::uint32_t process, std::uint64_t drawn_bits) {
+  if (racked_) {
+    Rack& r = racks_[process];
+    r.calls += 1;
+    r.bits += drawn_bits;
+    return;
+  }
   if (!admits(drawn_bits)) {
     throw BudgetExhausted("randomness budget exhausted (calls=" +
                           std::to_string(calls_) +
@@ -29,13 +91,13 @@ void Ledger::bill(std::uint64_t drawn_bits) {
 }
 
 bool Source::draw_bit() {
-  ledger_->bill(1);
+  ledger_->bill(process_, 1);
   return (gen_() >> 63) != 0;
 }
 
 std::uint64_t Source::draw_bits(unsigned k) {
   OMX_REQUIRE(k >= 1 && k <= 64, "draw_bits supports 1..64 bits per call");
-  ledger_->bill(k);
+  ledger_->bill(process_, k);
   return gen_() >> (64 - k);
 }
 

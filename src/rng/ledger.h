@@ -11,6 +11,19 @@
 // algorithms: a protocol variant checks `can_draw()` and falls back to a
 // deterministic transition when the budget is exhausted, exactly like an
 // algorithm built on a small PRG seed.
+//
+// Racked (parallel-phase) accounting: when the engine shards a round's
+// computation phase across worker threads, the shared running counters
+// would be a data race, and budget checks against them would depend on the
+// thread interleaving. Instead, the engine brackets the phase with
+// begin_racked_phase() / end_racked_phase(): draws are billed to a
+// per-process rack (each process is stepped by exactly one worker, so racks
+// are race-free), and end_racked_phase() reduces the racks into the shared
+// totals — so calls()/bits()/calls_this_window() observe exactly the serial
+// values once the phase is sealed. A racked phase is only admissible when
+// no budget check inside it could answer differently than under serial
+// in-order billing; see racked_admissible() for the per-source slack bound
+// that guarantees this.
 #pragma once
 
 #include <cstdint>
@@ -75,7 +88,8 @@ class Ledger {
   Source& source(std::uint32_t process);
 
   /// Total number of accesses to the random source (paper: "randomness of an
-  /// execution", lower-bound variant).
+  /// execution", lower-bound variant). During a racked phase this excludes
+  /// the phase's not-yet-reduced draws.
   std::uint64_t calls() const { return calls_; }
   /// Total number of random bits drawn (paper: randomness complexity).
   std::uint64_t bits() const { return bits_; }
@@ -96,20 +110,53 @@ class Ledger {
     return static_cast<std::uint32_t>(sources_.size());
   }
 
+  // --- racked (parallel compute phase) accounting ---
+
+  /// True iff a racked phase starting now is guaranteed to be
+  /// budget-equivalent to serial execution, provided no single source draws
+  /// more than `slack_calls` calls / `slack_bits` bits during the phase:
+  /// with headroom of num_processes() x slack below both budgets, every
+  /// serial-prefix admits() check and every racked admits() check answers
+  /// "yes", so behaviour cannot depend on billing order. Trivially true when
+  /// both budgets are unlimited. When it returns false the engine must run
+  /// the round serially — which reproduces budget-exhaustion points exactly.
+  bool racked_admissible(std::uint64_t slack_calls,
+                         std::uint64_t slack_bits) const;
+
+  /// Enter racked mode: draws bill per-process racks, admits() returns true
+  /// (justified by racked_admissible's headroom). Requires !racked().
+  void begin_racked_phase();
+
+  /// Reduce the racks into the shared totals and leave racked mode. When a
+  /// budget is finite, enforces the per-source slack bound promised to
+  /// racked_admissible (a violation is a loud error, never a silent
+  /// divergence from serial semantics).
+  void end_racked_phase(std::uint64_t slack_calls, std::uint64_t slack_bits);
+
+  bool racked() const { return racked_; }
+
  private:
   friend class Source;
+  struct Rack {
+    std::uint64_t calls = 0;
+    std::uint64_t bits = 0;
+  };
+
   bool admits(std::uint64_t extra_bits) const {
+    if (racked_) return true;  // guaranteed by racked_admissible's headroom
     return calls_ + 1 <= call_budget_ &&
            (bit_budget_ == kUnlimited || bits_ + extra_bits <= bit_budget_);
   }
-  void bill(std::uint64_t drawn_bits);
+  void bill(std::uint32_t process, std::uint64_t drawn_bits);
 
   std::vector<Source> sources_;
+  std::vector<Rack> racks_;
   std::uint64_t calls_ = 0;
   std::uint64_t bits_ = 0;
   std::uint64_t window_start_calls_ = 0;
   std::uint64_t bit_budget_ = kUnlimited;
   std::uint64_t call_budget_ = kUnlimited;
+  bool racked_ = false;
 };
 
 }  // namespace omx::rng

@@ -8,6 +8,13 @@
 // own state, p's inbox, and p's random stream — is a discipline the protocol
 // implementations follow (and the test suite spot-checks via determinism and
 // permutation tests), not something C++ can enforce cheaply.
+//
+// RoundIo writes into a SendLog rather than the message plane itself: in a
+// serial round that log *is* the plane's wire log; in a sharded round it is
+// the stepping worker's private staging outbox, merged into the wire at the
+// shard barrier. io.lane() identifies the worker (0 in serial rounds), so
+// machines that need mutable scratch during round() can keep one scratch
+// buffer per lane (sized via set_lanes) instead of one shared one.
 #pragma once
 
 #include <cstdint>
@@ -24,19 +31,29 @@ template <class P>
 class RoundIo {
  public:
   RoundIo(std::uint32_t round, ProcessId self,
-          std::span<const Message<P>> inbox, MessagePlane<P>* plane,
-          rng::Source* rng)
-      : round_(round), self_(self), inbox_(inbox), plane_(plane), rng_(rng) {}
+          std::span<const Message<P>> inbox, SendLog<P>* log,
+          rng::Source* rng, unsigned lane = 0)
+      : round_(round),
+        self_(self),
+        inbox_(inbox),
+        log_(log),
+        rng_(rng),
+        lane_(lane) {}
 
   std::uint32_t round() const { return round_; }
   ProcessId self() const { return self_; }
+
+  /// Which engine worker lane is stepping this process (0 in serial rounds).
+  /// Stable for the duration of one round() call; use it to index per-lane
+  /// scratch so concurrently stepped processes never share mutable state.
+  unsigned lane() const { return lane_; }
 
   /// Messages delivered to this process at the end of the previous round.
   std::span<const Message<P>> inbox() const { return inbox_; }
 
   /// Queue a message for the communication phase of this round.
   void send(ProcessId to, P payload) {
-    plane_->send(self_, to, std::move(payload));
+    log_->send(self_, to, std::move(payload));
   }
 
   /// Broadcast fast-path: one payload to every process in id order (the
@@ -44,18 +61,18 @@ class RoundIo {
   /// the adversary and the metrics still observe one logical message per
   /// recipient, exactly as if send() had been called in a loop.
   void send_to_all(P payload, bool include_self = false) {
-    plane_->broadcast(self_, std::move(payload), include_self);
+    log_->broadcast(self_, std::move(payload), include_self);
   }
 
   /// Multicast fast-path: one payload to the listed receivers, in order.
   void send_to(std::span<const ProcessId> to, P payload) {
-    plane_->multicast(self_, to, std::move(payload));
+    log_->multicast(self_, to, std::move(payload));
   }
 
   /// Multicast skipping one id (typically the sender in a member list).
   void send_to_except(std::span<const ProcessId> to, ProcessId skip,
                       P payload) {
-    plane_->multicast(self_, to, std::move(payload), skip);
+    log_->multicast(self_, to, std::move(payload), skip);
   }
 
   /// This process's metered random source.
@@ -65,8 +82,9 @@ class RoundIo {
   std::uint32_t round_;
   ProcessId self_;
   std::span<const Message<P>> inbox_;
-  MessagePlane<P>* plane_;
+  SendLog<P>* log_;
   rng::Source* rng_;
+  unsigned lane_;
 };
 
 /// A synchronous protocol over payload P, covering processes 0..n-1.
@@ -78,10 +96,18 @@ class Machine {
   /// Number of processes the machine covers.
   virtual std::uint32_t num_processes() const = 0;
 
+  /// The engine announces how many worker lanes may step processes
+  /// concurrently (1 = serial). Machines with mutable round() scratch size
+  /// their per-lane copies here; stateless machines ignore it. Called before
+  /// the first round and never during a round.
+  virtual void set_lanes(unsigned lanes) { (void)lanes; }
+
   /// Called once per round, before any process steps, with the round index.
   virtual void begin_round(std::uint32_t round) { (void)round; }
 
-  /// Local computation + send phase for process p.
+  /// Local computation + send phase for process p. May run concurrently with
+  /// round(q, ...) for q in another shard; implementations must only touch
+  /// p's own state, lane-local scratch (io.lane()), and the io object.
   virtual void round(ProcessId p, RoundIo<P>& io) = 0;
 
   /// True when every process has terminated (the engine then stops).

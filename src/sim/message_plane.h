@@ -1,15 +1,21 @@
 // Flat-buffer message plane: the engine's zero-allocation delivery substrate.
 //
-// One instance lives for a whole run. Per round it stores:
-//   * a payload arena (`payloads_`) — each *distinct* payload value is stored
-//     exactly once, so a broadcast of one value to n-1 receivers costs one
-//     payload slot plus n-1 twelve-byte fan-out records;
-//   * a record list (`records_`) — one POD entry per *logical* point-to-point
-//     message (from, to, payload slot). The adversary and the metrics always
-//     observe logical messages: a multicast is indistinguishable, in ordering
-//     and in bit/message/omission accounting, from the equivalent unicast
-//     loop;
+// The send side is factored into SendLog — a flat (records, payload arena)
+// pair that both the plane itself (serial compute phase) and the engine's
+// per-worker staging outboxes (sharded compute phase) use. Per round the
+// plane stores:
+//   * a payload arena — each *distinct* payload value is stored exactly
+//     once, so a broadcast of one value to n-1 receivers costs one payload
+//     slot plus n-1 twelve-byte fan-out records;
+//   * a record list — one POD entry per *logical* point-to-point message
+//     (from, to, payload slot). The adversary and the metrics always observe
+//     logical messages: a multicast is indistinguishable, in ordering and in
+//     bit/message/omission accounting, from the equivalent unicast loop;
 //   * a word-packed drop set (`drops_`) marking adversary omissions.
+//
+// Sharded rounds produce one private SendLog per worker; absorb() merges
+// them in shard (== ascending process id) order, remapping payload slots,
+// so the plane's record sequence is byte-identical to a serial round.
 //
 // Delivery is a stable counting sort of the surviving records into one
 // contiguous buffer plus a per-receiver offset table, so every inbox is a
@@ -22,6 +28,7 @@
 #include <cstdint>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/message.h"
@@ -49,23 +56,41 @@ class DropSet {
 };
 
 template <class P>
-class MessagePlane {
+class MessagePlane;
+
+/// One round's send-side log: fan-out records over a payload arena. The
+/// plane owns one (the wire); each engine worker owns another (its staging
+/// outbox) whose contents are absorbed into the wire at the shard barrier.
+/// Capacity persists across clear(), so steady-state rounds do not allocate.
+template <class P>
+class SendLog {
  public:
   /// Sentinel for multicast: no process is skipped.
   static constexpr ProcessId kNobody = UINT32_MAX;
 
-  explicit MessagePlane(std::uint32_t n) : n_(n), inbox_offsets_(n + 1, 0) {}
+  struct Record {
+    ProcessId from;
+    ProcessId to;
+    std::uint32_t payload;  // slot in the payload arena
+  };
 
-  std::uint32_t num_processes() const { return n_; }
+  explicit SendLog(std::uint32_t n = 0) : n_(n) {}
 
-  /// Start a round's send phase. Clears the wire arena (capacity persists);
-  /// the previous round's delivered inboxes stay readable.
-  void begin_round() {
+  /// Re-target the log at an n-process system and drop its contents.
+  void reset(std::uint32_t n) {
+    n_ = n;
+    clear();
+  }
+
+  /// Drop this round's contents; capacity persists.
+  void clear() {
     records_.clear();
     payloads_.clear();
   }
 
-  // --- send side (computation phase) ---
+  std::uint32_t num_processes() const { return n_; }
+  std::size_t num_records() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
 
   void send(ProcessId from, ProcessId to, P payload) {
     OMX_CHECK(to < n_, "message addressed outside the system");
@@ -96,17 +121,83 @@ class MessagePlane {
     }
   }
 
+ private:
+  friend class MessagePlane<P>;
+
+  std::uint32_t stash(P&& payload) {
+    payloads_.push_back(std::move(payload));
+    return static_cast<std::uint32_t>(payloads_.size() - 1);
+  }
+
+  std::uint32_t n_;
+  std::vector<Record> records_;
+  std::vector<P> payloads_;
+};
+
+template <class P>
+class MessagePlane {
+ public:
+  /// Sentinel for multicast: no process is skipped.
+  static constexpr ProcessId kNobody = SendLog<P>::kNobody;
+
+  explicit MessagePlane(std::uint32_t n)
+      : n_(n), log_(n), inbox_offsets_(n + 1, 0) {}
+
+  std::uint32_t num_processes() const { return n_; }
+
+  /// Start a round's send phase. Clears the wire arena (capacity persists);
+  /// the previous round's delivered inboxes stay readable.
+  void begin_round() { log_.clear(); }
+
+  // --- send side (computation phase) ---
+
+  /// The wire's own send log — the serial compute phase writes through it.
+  SendLog<P>& log() { return log_; }
+
+  void send(ProcessId from, ProcessId to, P payload) {
+    log_.send(from, to, std::move(payload));
+  }
+
+  void broadcast(ProcessId from, P payload, bool include_self) {
+    log_.broadcast(from, std::move(payload), include_self);
+  }
+
+  void multicast(ProcessId from, std::span<const ProcessId> to, P payload,
+                 ProcessId skip = kNobody) {
+    log_.multicast(from, to, std::move(payload), skip);
+  }
+
+  /// Append a worker's staged log to the wire, remapping payload slots, and
+  /// clear the staged log (its capacity persists for the next round).
+  /// Absorbing shard logs in ascending shard order reproduces the exact
+  /// record/payload sequence of a serial round: each shard steps its
+  /// processes in ascending id order, so concatenation *is* id order.
+  void absorb(SendLog<P>& staged) {
+    OMX_CHECK(staged.n_ == n_, "staged log targets a different system");
+    const auto offset = static_cast<std::uint32_t>(log_.payloads_.size());
+    log_.records_.reserve(log_.records_.size() + staged.records_.size());
+    for (const typename SendLog<P>::Record& r : staged.records_) {
+      log_.records_.push_back(
+          typename SendLog<P>::Record{r.from, r.to, r.payload + offset});
+    }
+    log_.payloads_.reserve(log_.payloads_.size() + staged.payloads_.size());
+    for (P& payload : staged.payloads_) {
+      log_.payloads_.push_back(std::move(payload));
+    }
+    staged.clear();
+  }
+
   // --- indexed logical-message view (adversary phase) ---
 
-  std::size_t num_messages() const { return records_.size(); }
-  ProcessId from(std::size_t i) const { return records_[i].from; }
-  ProcessId to(std::size_t i) const { return records_[i].to; }
+  std::size_t num_messages() const { return log_.records_.size(); }
+  ProcessId from(std::size_t i) const { return log_.records_[i].from; }
+  ProcessId to(std::size_t i) const { return log_.records_[i].to; }
   const P& payload(std::size_t i) const {
-    return payloads_[records_[i].payload];
+    return log_.payloads_[log_.records_[i].payload];
   }
 
   /// End the send phase: size the drop set to this round's messages.
-  void seal() { drops_.reset(records_.size()); }
+  void seal() { drops_.reset(log_.records_.size()); }
 
   void mark_dropped(std::size_t i) { drops_.set(i); }
   bool dropped(std::size_t i) const { return drops_.test(i); }
@@ -118,15 +209,17 @@ class MessagePlane {
   /// buffer. Stable: each inbox sees its messages in global send order,
   /// exactly as the per-receiver push_back delivery did.
   void deliver(Metrics& m) {
-    payload_bits_.resize(payloads_.size());
-    for (std::size_t s = 0; s < payloads_.size(); ++s) {
-      payload_bits_[s] = bit_size(payloads_[s]);
+    auto& records = log_.records_;
+    auto& payloads = log_.payloads_;
+    payload_bits_.resize(payloads.size());
+    for (std::size_t s = 0; s < payloads.size(); ++s) {
+      payload_bits_[s] = bit_size(payloads[s]);
     }
-    payload_uses_.assign(payloads_.size(), 0);
+    payload_uses_.assign(payloads.size(), 0);
     counts_.assign(n_, 0);
     std::size_t delivered = 0;
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto& r = records[i];
       m.messages += 1;
       m.comm_bits += payload_bits_[r.payload];
       if (drops_.test(i)) {
@@ -153,34 +246,34 @@ class MessagePlane {
     // copy (a multicast payload is shared by several receivers).
     if constexpr (std::is_default_constructible_v<P>) {
       staging_.resize(delivered);
-      for (std::size_t i = 0; i < records_.size(); ++i) {
+      for (std::size_t i = 0; i < records.size(); ++i) {
         if (drops_.test(i)) continue;
-        const Record& r = records_[i];
+        const auto& r = records[i];
         Message<P>& dst = staging_[counts_[r.to]++];
         dst.from = r.from;
         dst.to = r.to;
         if (--payload_uses_[r.payload] == 0) {
-          dst.payload = std::move(payloads_[r.payload]);
+          dst.payload = std::move(payloads[r.payload]);
         } else {
-          dst.payload = payloads_[r.payload];
+          dst.payload = payloads[r.payload];
         }
       }
     } else {
       order_.resize(delivered);
-      for (std::size_t i = 0; i < records_.size(); ++i) {
+      for (std::size_t i = 0; i < records.size(); ++i) {
         if (drops_.test(i)) continue;
-        order_[counts_[records_[i].to]++] = static_cast<std::uint32_t>(i);
+        order_[counts_[records[i].to]++] = static_cast<std::uint32_t>(i);
       }
       staging_.clear();
       staging_.reserve(delivered);
       for (const std::uint32_t idx : order_) {
-        const Record& r = records_[idx];
+        const auto& r = records[idx];
         if (--payload_uses_[r.payload] == 0) {
           staging_.push_back(
-              Message<P>{r.from, r.to, std::move(payloads_[r.payload])});
+              Message<P>{r.from, r.to, std::move(payloads[r.payload])});
         } else {
           if constexpr (std::is_copy_constructible_v<P>) {
-            staging_.push_back(Message<P>{r.from, r.to, payloads_[r.payload]});
+            staging_.push_back(Message<P>{r.from, r.to, payloads[r.payload]});
           } else {
             OMX_CHECK(false, "multicast payload type must be copyable");
           }
@@ -199,20 +292,8 @@ class MessagePlane {
   }
 
  private:
-  struct Record {
-    ProcessId from;
-    ProcessId to;
-    std::uint32_t payload;  // slot in payloads_
-  };
-
-  std::uint32_t stash(P&& payload) {
-    payloads_.push_back(std::move(payload));
-    return static_cast<std::uint32_t>(payloads_.size() - 1);
-  }
-
   std::uint32_t n_;
-  std::vector<Record> records_;
-  std::vector<P> payloads_;
+  SendLog<P> log_;
   DropSet drops_;
 
   // Delivery scratch + double-buffered inboxes (all capacity-persistent).

@@ -12,12 +12,33 @@
 //   3. communication phase: surviving messages are delivered; they appear in
 //      receivers' inboxes next round.
 //
+// Phases 2 and 3 are inherently global; phase 1 is n independent local
+// transitions and is where essentially all wall-time goes at large n. With
+// Options::threads > 1 the engine shards phase 1 across a persistent thread
+// pool while keeping every run bit-identical to the serial engine:
+//
+//   * processes are split into contiguous shards [n*w/k, n*(w+1)/k); worker
+//     w steps its shard in ascending id order into a private staging
+//     SendLog, reading only last round's sealed inboxes;
+//   * staged logs are absorbed into the plane in shard order, which
+//     reconstructs the exact serial record/payload sequence (concatenating
+//     ascending-id shards in shard order *is* ascending id order) — so the
+//     adversary's indexed view, the drop bitset, and delivery are untouched;
+//   * random draws are billed to per-process racks and reduced at the shard
+//     barrier (Ledger racked phase), making the totals independent of
+//     thread interleaving. A round runs racked only when the ledger proves
+//     budget checks cannot depend on billing order
+//     (racked_admissible: headroom >= n x per-source slack below every
+//     finite budget); budget-near rounds fall back to serial stepping, so
+//     budget-exhaustion points are exactly the serial ones.
+//
 // The run ends when the machine reports finished() or max_rounds elapses
 // (the latter flagged in the result so tests can fail on non-termination).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -28,6 +49,7 @@
 #include "sim/message_plane.h"
 #include "sim/metrics.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace omx::sim {
 
@@ -39,12 +61,18 @@ struct RunResult {
 /// Optional per-phase wall-clock accounting (bench_engine): cumulative
 /// nanoseconds spent in local computation, adversary intervention, and
 /// delivery. Costs one clock read per phase per round when enabled, nothing
-/// when not.
+/// when not. compute_ns covers all of phase 1; in sharded rounds it splits
+/// into stage_ns (parallel stepping into staged outboxes) and merge_ns
+/// (absorbing staged logs + reducing the rng racks).
 struct EngineStats {
   std::uint64_t rounds = 0;
   std::uint64_t compute_ns = 0;
   std::uint64_t adversary_ns = 0;
   std::uint64_t delivery_ns = 0;
+  std::uint64_t stage_ns = 0;
+  std::uint64_t merge_ns = 0;
+  std::uint64_t parallel_rounds = 0;  // rounds that took the sharded path
+  unsigned threads = 1;               // resolved worker-lane count
 };
 
 template <class P>
@@ -53,6 +81,16 @@ class Runner {
   struct Options {
     std::uint64_t max_rounds = 1'000'000;
     EngineStats* stats = nullptr;
+    /// Worker lanes for the computation phase: 1 = serial (default),
+    /// 0 = one lane per hardware thread, k = exactly k lanes.
+    unsigned threads = 1;
+    /// Per-source slack bounds promised to the rng ledger for racked
+    /// rounds: no single process may draw more than this many calls/bits
+    /// in one round. Generous for every protocol here (they draw O(1)
+    /// calls of <= 64 bits per process per round); raise if a protocol
+    /// draws more and budget-limited parallel runs start failing loudly.
+    std::uint64_t rng_slack_calls = 64;
+    std::uint64_t rng_slack_bits = 4096;
   };
 
   Runner(std::uint32_t n, std::uint32_t fault_budget, rng::Ledger* ledger,
@@ -66,9 +104,22 @@ class Runner {
                 "runner needs a ledger and an adversary");
     OMX_REQUIRE(ledger->num_processes() >= n,
                 "ledger must cover all processes");
+    unsigned lanes = options_.threads == 0
+                         ? support::ThreadPool::hardware_threads()
+                         : options_.threads;
+    if (lanes > n_) lanes = n_ == 0 ? 1 : n_;
+    if (lanes > 1) {
+      pool_ = std::make_unique<support::ThreadPool>(lanes);
+      stage_.reserve(lanes);
+      for (unsigned w = 0; w < lanes; ++w) stage_.emplace_back(n_);
+    }
+    lanes_ = lanes;
   }
 
   const FaultState& faults() const { return faults_; }
+
+  /// Worker lanes this runner steps phase 1 with (1 = serial).
+  unsigned lanes() const { return lanes_; }
 
   RunResult run(Machine<P>& machine) {
     OMX_REQUIRE(machine.num_processes() == n_,
@@ -76,12 +127,16 @@ class Runner {
     const std::uint64_t base_calls = ledger_->calls();
     const std::uint64_t base_bits = ledger_->bits();
 
+    machine.set_lanes(lanes_);
+
     MessagePlane<P> plane(n_);
     RunResult result;
     Metrics& m = result.metrics;
     EngineStats* const stats = options_.stats;
+    if (stats) stats->threads = lanes_;
     using Clock = std::chrono::steady_clock;
     Clock::time_point t0;
+    Clock::time_point t1;
 
     std::uint32_t round = 0;
     while (!machine.finished()) {
@@ -92,12 +147,47 @@ class Runner {
       ledger_->begin_round_window();
       machine.begin_round(round);
 
-      // Phase 1: local computation (+ queuing of sends into the plane).
+      // Phase 1: local computation (+ queuing of sends). Sharded when the
+      // runner has lanes and the ledger proves budget checks cannot depend
+      // on billing order this round; serial otherwise.
       if (stats) t0 = Clock::now();
       plane.begin_round();
-      for (ProcessId p = 0; p < n_; ++p) {
-        RoundIo<P> io(round, p, plane.inbox(p), &plane, &ledger_->source(p));
-        machine.round(p, io);
+      const bool sharded =
+          lanes_ > 1 && ledger_->racked_admissible(options_.rng_slack_calls,
+                                                   options_.rng_slack_bits);
+      if (sharded) {
+        ledger_->begin_racked_phase();
+        pool_->run([&](unsigned w) {
+          const auto lo = static_cast<ProcessId>(
+              (std::uint64_t{n_} * w) / lanes_);
+          const auto hi = static_cast<ProcessId>(
+              (std::uint64_t{n_} * (w + 1)) / lanes_);
+          SendLog<P>& log = stage_[w];
+          for (ProcessId p = lo; p < hi; ++p) {
+            RoundIo<P> io(round, p, plane.inbox(p), &log,
+                          &ledger_->source(p), w);
+            machine.round(p, io);
+          }
+        });
+        if (stats) t1 = Clock::now();
+        // Shard order == ascending process-id order: the wire ends up
+        // byte-identical to a serial round.
+        for (SendLog<P>& log : stage_) plane.absorb(log);
+        ledger_->end_racked_phase(options_.rng_slack_calls,
+                                  options_.rng_slack_bits);
+        if (stats) {
+          stats->stage_ns += static_cast<std::uint64_t>(
+              std::chrono::nanoseconds(t1 - t0).count());
+          stats->merge_ns += static_cast<std::uint64_t>(
+              std::chrono::nanoseconds(Clock::now() - t1).count());
+          ++stats->parallel_rounds;
+        }
+      } else {
+        for (ProcessId p = 0; p < n_; ++p) {
+          RoundIo<P> io(round, p, plane.inbox(p), &plane.log(),
+                        &ledger_->source(p));
+          machine.round(p, io);
+        }
       }
       plane.seal();
       if (stats) {
@@ -139,6 +229,9 @@ class Runner {
   Adversary<P>* adversary_;
   Options options_;
   FaultState faults_;
+  unsigned lanes_ = 1;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::vector<SendLog<P>> stage_;  // one staging outbox per worker lane
 };
 
 }  // namespace omx::sim

@@ -1,0 +1,108 @@
+#include "support/thread_pool.h"
+
+#include "support/check.h"
+
+namespace omx::support {
+
+namespace {
+// Which pool (if any) the current thread is a worker lane of. Used to run
+// nested run() calls inline instead of deadlocking on the barrier.
+thread_local const ThreadPool* tl_worker_of = nullptr;
+}  // namespace
+
+unsigned ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : hw;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+ThreadPool::ThreadPool(unsigned lanes) : lanes_(lanes) {
+  OMX_REQUIRE(lanes >= 1, "thread pool needs at least one lane");
+  threads_.reserve(lanes_ - 1);
+  for (unsigned lane = 1; lane < lanes_; ++lane) {
+    threads_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void ThreadPool::record_error() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  tl_worker_of = this;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(lane);
+    } catch (...) {
+      record_error();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& job) {
+  if (lanes_ == 1 || tl_worker_of == this) {
+    // Single-lane pool, or a nested call from one of our own lanes: execute
+    // inline. Exceptions propagate naturally from the first failing lane.
+    for (unsigned lane = 0; lane < lanes_; ++lane) job(lane);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    error_ = nullptr;
+    pending_ = lanes_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // Mark the caller as lane 0 for the duration of its slice, so a nested
+  // run() from inside the job degrades to inline execution instead of
+  // clobbering the in-flight job state. Saved/restored because the caller
+  // may itself be a worker lane of a *different* pool.
+  const ThreadPool* const prev = tl_worker_of;
+  tl_worker_of = this;
+  try {
+    job(0);
+  } catch (...) {
+    record_error();
+  }
+  tl_worker_of = prev;
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace omx::support

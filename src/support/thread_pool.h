@@ -1,0 +1,74 @@
+// Shared persistent worker pool.
+//
+// Both hot parallel paths of the codebase — the engine's sharded compute
+// phase (sim::Runner) and the bench sweeps (expsup::parallel_map) — need the
+// same primitive: run a job once per worker lane, on threads that outlive
+// the call. Spawning std::threads per invocation (what parallel_map used to
+// do) costs more than small workloads gain and, for the engine, would be
+// paid every round. This pool parks its workers on a condition variable
+// between jobs, so a round-trip through run() is two wakeups, not a clone().
+//
+// Semantics of run(job):
+//   * job(lane) is invoked exactly once for every lane in [0, size());
+//     lane 0 executes on the calling thread, the rest on pool workers;
+//   * run() returns only after every lane finished (a full barrier — this
+//     is what makes the engine's staged-outbox merge safe to start);
+//   * if any lane throws, the first exception (in completion order) is
+//     rethrown on the calling thread after the barrier;
+//   * calling run() from inside a lane of the *same* pool does not deadlock:
+//     the nested job runs all lanes inline on the current thread.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omx::support {
+
+class ThreadPool {
+ public:
+  /// Hardware concurrency with the zero-means-unknown case pinned to 2
+  /// (matching the historical expsup::worker_count fallback).
+  static unsigned hardware_threads();
+
+  /// Process-wide pool with hardware_threads() lanes, built on first use.
+  /// expsup::parallel_map and ad-hoc callers share it so the process never
+  /// holds more than one set of sweep workers.
+  static ThreadPool& shared();
+
+  /// A pool with `lanes` worker lanes (>= 1; lanes - 1 threads are spawned,
+  /// since the caller of run() doubles as lane 0).
+  explicit ThreadPool(unsigned lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return lanes_; }
+
+  /// Execute job(lane) for every lane; see the header comment for the
+  /// barrier, exception, and reentrancy contract.
+  void run(const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_loop(unsigned lane);
+  void record_error() noexcept;
+
+  unsigned lanes_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace omx::support

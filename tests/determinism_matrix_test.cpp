@@ -1,0 +1,157 @@
+// Thread-count determinism matrix.
+//
+// The sharded computation phase (sim/runner.h) promises *bit-identical*
+// executions at every thread count: contiguous shards merged in process-id
+// order reproduce the serial wire exactly, and racked rng accounting
+// reduces to the serial totals. This suite runs an
+// (algorithm x adversary x n x seed) grid at threads in {1, 2, 8} and
+// asserts the full observable metric vector is identical across counts —
+// including a run with a finite random-bit budget, where the engine must
+// fall back to serial stepping near exhaustion so the budget cliff lands
+// on exactly the same draw.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "harness/experiment.h"
+#include "rng/ledger.h"
+
+namespace omx {
+namespace {
+
+struct FullVector {
+  std::uint64_t rounds, messages, comm_bits, random_calls, random_bits,
+      omitted, time_rounds;
+  std::uint32_t corrupted;
+  std::uint8_t decision;
+  bool agreement, validity, all_decided, hit_cap;
+
+  bool operator==(const FullVector&) const = default;
+};
+
+FullVector run(harness::Algo algo, harness::Attack attack, std::uint32_t n,
+               std::uint64_t seed, unsigned threads,
+               std::uint64_t bit_budget = rng::kUnlimited) {
+  harness::ExperimentConfig cfg;
+  cfg.algo = algo;
+  cfg.attack = attack;
+  cfg.n = n;
+  cfg.t = algo == harness::Algo::Param ? core::Params::max_t_param(n)
+                                       : core::Params::max_t_optimal(n);
+  cfg.x = 3;
+  cfg.inputs = harness::InputPattern::Random;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.random_bit_budget = bit_budget;
+  const auto r = harness::run_experiment(cfg);
+  return FullVector{r.metrics.rounds,       r.metrics.messages,
+                    r.metrics.comm_bits,    r.metrics.random_calls,
+                    r.metrics.random_bits,  r.metrics.omitted,
+                    r.time_rounds,          r.metrics.corrupted,
+                    r.decision,             r.agreement,
+                    r.validity,             r.all_nonfaulty_decided,
+                    r.hit_round_cap};
+}
+
+struct GridRow {
+  harness::Algo algo;
+  harness::Attack attack;
+  std::uint32_t n;
+  std::uint64_t seed;
+};
+
+class DeterminismMatrix : public ::testing::TestWithParam<GridRow> {};
+
+TEST_P(DeterminismMatrix, MetricVectorIdenticalAcrossThreadCounts) {
+  const GridRow& g = GetParam();
+  const FullVector serial = run(g.algo, g.attack, g.n, g.seed, 1);
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const FullVector parallel = run(g.algo, g.attack, g.n, g.seed, threads);
+    EXPECT_EQ(parallel.rounds, serial.rounds);
+    EXPECT_EQ(parallel.messages, serial.messages);
+    EXPECT_EQ(parallel.comm_bits, serial.comm_bits);
+    EXPECT_EQ(parallel.random_calls, serial.random_calls);
+    EXPECT_EQ(parallel.random_bits, serial.random_bits);
+    EXPECT_EQ(parallel.omitted, serial.omitted);
+    EXPECT_EQ(parallel.time_rounds, serial.time_rounds);
+    EXPECT_EQ(parallel.corrupted, serial.corrupted);
+    EXPECT_EQ(parallel.decision, serial.decision);
+    EXPECT_TRUE(parallel == serial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeterminismMatrix,
+    ::testing::Values(
+        GridRow{harness::Algo::Optimal, harness::Attack::None, 48u, 3u},
+        GridRow{harness::Algo::Optimal, harness::Attack::RandomOmission, 96u,
+                3u},
+        GridRow{harness::Algo::Optimal, harness::Attack::CoinHiding, 96u, 5u},
+        GridRow{harness::Algo::Optimal, harness::Attack::Chaos, 64u, 11u},
+        GridRow{harness::Algo::Param, harness::Attack::RandomOmission, 96u,
+                3u},
+        GridRow{harness::Algo::Param, harness::Attack::GroupKiller, 160u, 5u},
+        GridRow{harness::Algo::FloodSet, harness::Attack::RandomOmission, 96u,
+                3u},
+        GridRow{harness::Algo::FloodSet, harness::Attack::SplitBrain, 64u,
+                9u},
+        GridRow{harness::Algo::BenOr, harness::Attack::None, 48u, 3u},
+        GridRow{harness::Algo::BenOr, harness::Attack::RandomOmission, 96u,
+                5u}),
+    [](const ::testing::TestParamInfo<GridRow>& info) {
+      const auto& g = info.param;
+      std::string name = harness::to_string(g.algo);
+      name += "_";
+      name += harness::to_string(g.attack);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_n" + std::to_string(g.n) + "_s" +
+             std::to_string(g.seed);
+    });
+
+// A finite bit budget is the hard case: budget checks are sequential in the
+// serial engine, so the racked engine must refuse to shard any round where
+// the outcome could depend on billing order. The budget cliff (draws stop,
+// protocols degrade deterministically) must land identically at every
+// thread count.
+TEST(DeterminismBudget, BudgetExhaustionPointIdenticalAcrossThreadCounts) {
+  // Tight enough that BenOr exhausts it mid-run at n=64 (coin flips in the
+  // dead zone), exercising the serial-fallback path.
+  const std::uint64_t kBudget = 24;
+  const FullVector serial = run(harness::Algo::BenOr,
+                                harness::Attack::RandomOmission, 64u, 7u, 1,
+                                kBudget);
+  EXPECT_LE(serial.random_bits, kBudget);
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const FullVector parallel = run(harness::Algo::BenOr,
+                                    harness::Attack::RandomOmission, 64u, 7u,
+                                    threads, kBudget);
+    EXPECT_TRUE(parallel == serial);
+    EXPECT_EQ(parallel.random_bits, serial.random_bits);
+    EXPECT_EQ(parallel.random_calls, serial.random_calls);
+  }
+}
+
+// Same, for the Optimal algorithm whose epochs draw one bit per operative
+// process: a budget below one epoch's demand forces deterministic votes.
+TEST(DeterminismBudget, OptimalWithTinyBudgetIdenticalAcrossThreadCounts) {
+  const std::uint64_t kBudget = 40;
+  const FullVector serial = run(harness::Algo::Optimal,
+                                harness::Attack::None, 48u, 5u, 1, kBudget);
+  EXPECT_LE(serial.random_bits, kBudget);
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const FullVector parallel = run(harness::Algo::Optimal,
+                                    harness::Attack::None, 48u, 5u, threads,
+                                    kBudget);
+    EXPECT_TRUE(parallel == serial);
+  }
+}
+
+}  // namespace
+}  // namespace omx

@@ -35,26 +35,33 @@ class EngineEquivalence : public ::testing::TestWithParam<GoldenRow> {};
 
 TEST_P(EngineEquivalence, MetricsBitIdenticalToSeedEngine) {
   const GoldenRow& g = GetParam();
-  harness::ExperimentConfig cfg;
-  cfg.algo = g.algo;
-  cfg.attack = g.attack;
-  cfg.n = g.n;
-  cfg.t = g.algo == harness::Algo::Param
-              ? core::Params::max_t_param(g.n)
-              : core::Params::max_t_optimal(g.n);
-  cfg.x = 4;
-  cfg.inputs = harness::InputPattern::Random;
-  cfg.seed = g.seed;
-  const auto r = harness::run_experiment(cfg);
-  EXPECT_EQ(r.metrics.rounds, g.rounds);
-  EXPECT_EQ(r.metrics.messages, g.messages);
-  EXPECT_EQ(r.metrics.comm_bits, g.comm_bits);
-  EXPECT_EQ(r.metrics.random_calls, g.random_calls);
-  EXPECT_EQ(r.metrics.random_bits, g.random_bits);
-  EXPECT_EQ(r.metrics.omitted, g.omitted);
-  EXPECT_EQ(r.time_rounds, g.time_rounds);
-  EXPECT_EQ(r.metrics.corrupted, g.corrupted);
-  EXPECT_EQ(r.decision, g.decision);
+  // The sharded computation phase contracts to the same bit-identical
+  // behaviour as the serial engine, so the golden rows must hold at every
+  // thread count.
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    harness::ExperimentConfig cfg;
+    cfg.algo = g.algo;
+    cfg.attack = g.attack;
+    cfg.n = g.n;
+    cfg.t = g.algo == harness::Algo::Param
+                ? core::Params::max_t_param(g.n)
+                : core::Params::max_t_optimal(g.n);
+    cfg.x = 4;
+    cfg.inputs = harness::InputPattern::Random;
+    cfg.seed = g.seed;
+    cfg.threads = threads;
+    const auto r = harness::run_experiment(cfg);
+    EXPECT_EQ(r.metrics.rounds, g.rounds);
+    EXPECT_EQ(r.metrics.messages, g.messages);
+    EXPECT_EQ(r.metrics.comm_bits, g.comm_bits);
+    EXPECT_EQ(r.metrics.random_calls, g.random_calls);
+    EXPECT_EQ(r.metrics.random_bits, g.random_bits);
+    EXPECT_EQ(r.metrics.omitted, g.omitted);
+    EXPECT_EQ(r.time_rounds, g.time_rounds);
+    EXPECT_EQ(r.metrics.corrupted, g.corrupted);
+    EXPECT_EQ(r.decision, g.decision);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

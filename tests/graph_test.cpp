@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "graph/comm_graph.h"
 #include "graph/validate.h"
@@ -225,6 +228,38 @@ TEST(Validate, EccentricityRespectsAliveMask) {
   CommGraph path({{1}, {0, 2}, {1, 3}, {2}});
   const std::vector<Vertex> alive{0, 1};
   EXPECT_EQ(eccentricity(path, 0, alive), 1u);
+}
+
+TEST(SharedCache, ConcurrentFirstTouchBuildsExactlyOnce) {
+  // A (n, Δ) key never requested before, hit by many threads at once: all
+  // callers must end up with the SAME instance and the cache must build
+  // exactly one graph (per-key call_once), not one per racing thread.
+  const std::uint32_t n = 557;  // unique to this test
+  const std::uint32_t delta = 23;
+  const std::uint64_t builds_before = CommGraph::common_for_shared_builds();
+
+  constexpr unsigned kThreads = 8;
+  std::vector<std::shared_ptr<const CommGraph>> got(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&got, i] {
+        got[i] = CommGraph::common_for_shared(n, delta);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  for (unsigned i = 0; i < kThreads; ++i) {
+    ASSERT_NE(got[i], nullptr);
+    EXPECT_EQ(got[i].get(), got[0].get()) << "thread " << i;
+  }
+  EXPECT_EQ(CommGraph::common_for_shared_builds(), builds_before + 1);
+  // Repeat touches are cache hits, not rebuilds.
+  const auto again = CommGraph::common_for_shared(n, delta);
+  EXPECT_EQ(again.get(), got[0].get());
+  EXPECT_EQ(CommGraph::common_for_shared_builds(), builds_before + 1);
 }
 
 }  // namespace

@@ -1,0 +1,138 @@
+// support::ThreadPool unit tests: lane coverage, barrier semantics,
+// exception propagation, nested-call reentrancy, worker_count clamping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "expsup/parallel.h"
+#include "support/thread_pool.h"
+
+namespace omx {
+namespace {
+
+TEST(ThreadPool, RunsEveryLaneExactlyOnce) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](unsigned lane) { hits[lane].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  support::ThreadPool pool(1);
+  unsigned seen = 99;
+  pool.run([&](unsigned lane) { seen = lane; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPool, RunIsABarrier) {
+  support::ThreadPool pool(3);
+  // If run() returned before all lanes finished, some increments would be
+  // missing when we read the counter right after.
+  std::atomic<int> count{0};
+  for (int iter = 0; iter < 50; ++iter) {
+    pool.run([&](unsigned) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 3 * (iter + 1));
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run([](unsigned lane) {
+        if (lane == 2) throw std::runtime_error("lane 2 failed");
+      }),
+      std::runtime_error);
+  // The pool stays usable after a failed job.
+  std::atomic<int> count{0};
+  pool.run([&](unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, NestedRunFromWorkerLaneExecutesInline) {
+  support::ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  // A job that re-enters its own pool must not deadlock on the barrier;
+  // the nested call degrades to inline sequential execution on that lane.
+  pool.run([&](unsigned) {
+    pool.run([&](unsigned) { inner_total.fetch_add(1); });
+  });
+  // 3 outer lanes x 3 inner lane-calls each.
+  EXPECT_EQ(inner_total.load(), 9);
+}
+
+TEST(ThreadPool, SharedPoolIsSingletonAndSized) {
+  support::ThreadPool& a = support::ThreadPool::shared();
+  support::ThreadPool& b = support::ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  EXPECT_EQ(a.size(), support::ThreadPool::hardware_threads());
+}
+
+TEST(WorkerCount, ClampsToItemsAndHardware) {
+  EXPECT_EQ(expsup::worker_count(0), 1u);
+  EXPECT_EQ(expsup::worker_count(1), 1u);
+  const unsigned hw = support::ThreadPool::hardware_threads();
+  EXPECT_LE(expsup::worker_count(3), 3u);
+  EXPECT_LE(expsup::worker_count(1000), hw);
+  // Regression: a huge item count used to be narrowed to unsigned before
+  // the comparison, wrapping to a tiny (or zero) worker count.
+  const auto huge = static_cast<std::size_t>(
+                        std::numeric_limits<unsigned>::max()) +
+                    7;
+  EXPECT_EQ(expsup::worker_count(huge), hw);
+}
+
+TEST(ParallelMap, PreservesOrderAndValues) {
+  std::vector<int> items(257);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int>(i);
+  }
+  const auto out = expsup::parallel_map(items, [](int x) { return 2 * x; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 2 * static_cast<int>(i));
+  }
+}
+
+TEST(ParallelMap, RethrowsWorkerException) {
+  std::vector<int> items(64, 1);
+  items[37] = -1;
+  EXPECT_THROW(expsup::parallel_map(items,
+                                    [](int x) {
+                                      if (x < 0) {
+                                        throw std::runtime_error("bad item");
+                                      }
+                                      return x;
+                                    }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, NestedCallDoesNotDeadlock) {
+  // Outer sweep over the shared pool; each item runs an inner sweep. The
+  // inner call re-enters the same pool from a worker lane and must run
+  // inline instead of blocking on the outer barrier.
+  std::vector<int> outer(8);
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    outer[i] = static_cast<int>(i);
+  }
+  const auto sums = expsup::parallel_map(outer, [](int base) {
+    std::vector<int> inner(16, base);
+    const auto doubled =
+        expsup::parallel_map(inner, [](int x) { return x + 1; });
+    int sum = 0;
+    for (int v : doubled) sum += v;
+    return sum;
+  });
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i], 16 * (static_cast<int>(i) + 1));
+  }
+}
+
+}  // namespace
+}  // namespace omx

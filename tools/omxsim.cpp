@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
   args.add_option("budget", "-1", "random-bit budget (-1 = unlimited)");
   args.add_option("drop-prob", "0.8", "drop probability for rand-omit");
   args.add_option("params", "practical", "practical | paper constants");
+  args.add_option("threads", "1",
+                  "worker lanes for the computation phase (0 = hardware); "
+                  "results are bit-identical at every setting");
   args.add_flag("csv", "emit one CSV line per run instead of a table");
 
   if (!args.parse(argc, argv)) {
@@ -108,6 +111,7 @@ int main(int argc, char** argv) {
                         : core::Params::max_t_optimal(cfg.n));
   const auto budget = args.get_int("budget");
   if (budget >= 0) cfg.random_bit_budget = static_cast<std::uint64_t>(budget);
+  cfg.threads = static_cast<unsigned>(args.get_int("threads"));
 
   const auto first_seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const auto num_seeds = static_cast<std::uint64_t>(args.get_int("seeds"));
