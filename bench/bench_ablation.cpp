@@ -18,6 +18,7 @@
 #include "core/params.h"
 #include "expsup/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
@@ -28,8 +29,9 @@ struct AblateResult {
   std::uint32_t ok = 0, fallbacks = 0;
 };
 
-AblateResult run(const core::Params& params, std::uint32_t n,
-                 harness::Attack attack, std::uint32_t seeds) {
+AblateResult run(harness::Sweep& sweep, const core::Params& params,
+                 std::uint32_t n, harness::Attack attack,
+                 std::uint32_t seeds) {
   AblateResult out;
   const std::uint32_t t = core::Params::max_t_optimal(n);
   const std::uint32_t no_fb =
@@ -42,8 +44,9 @@ AblateResult run(const core::Params& params, std::uint32_t n,
     cfg.attack = attack;
     cfg.inputs = harness::InputPattern::Alternating;
     cfg.seed = seed * 31;
-    const auto r = harness::run_experiment(cfg);
-    out.ok += r.ok();
+    const auto trial = sweep.run(cfg);
+    const auto& r = trial.result;
+    out.ok += trial.ok();
     out.fallbacks += r.time_rounds > no_fb;
     out.rounds += static_cast<double>(r.time_rounds) / seeds;
     out.bits += static_cast<double>(r.metrics.comm_bits) / seeds;
@@ -55,7 +58,8 @@ AblateResult run(const core::Params& params, std::uint32_t n,
 
 }  // namespace
 
-int main() {
+int run_bench() {
+  harness::Sweep sweep;
   const std::uint32_t n = 512;
   const std::uint32_t seeds = 3;
 
@@ -68,7 +72,7 @@ int main() {
       for (bool early : {false, true}) {
         core::Params p;
         p.early_decide = early;
-        const auto r = run(p, n, attack, seeds);
+        const auto r = run(sweep, p, n, attack, seeds);
         t.add_row({early ? "early-decide" : "paper schedule",
                    harness::to_string(attack), expsup::Table::num(r.rounds),
                    expsup::Table::num(r.bits), expsup::Table::num(r.coins),
@@ -86,7 +90,7 @@ int main() {
     for (double f : {1.5, 2.5, 4.0, 8.0}) {
       core::Params p;
       p.delta_factor = f;
-      const auto r = run(p, n, harness::Attack::GroupKiller, seeds);
+      const auto r = run(sweep, p, n, harness::Attack::GroupKiller, seeds);
       t.add_row({expsup::Table::num(f),
                  expsup::Table::num(std::uint64_t{p.delta(n)}),
                  expsup::Table::num(r.rounds), expsup::Table::num(r.bits),
@@ -106,7 +110,7 @@ int main() {
     for (double f : {0.5, 1.0, 2.0, 3.0}) {
       core::Params p;
       p.spread_factor = f;
-      const auto r = run(p, n, harness::Attack::SplitBrain, seeds);
+      const auto r = run(sweep, p, n, harness::Attack::SplitBrain, seeds);
       t.add_row({expsup::Table::num(f), expsup::Table::num(r.rounds),
                  expsup::Table::num(r.bits), expsup::Table::num(r.operative),
                  r.ok == seeds ? "yes" : "NO"});
@@ -123,7 +127,7 @@ int main() {
       core::Params p;
       p.epoch_factor = f;
       p.min_epochs = 2;
-      const auto r = run(p, n, harness::Attack::CoinHiding, 6);
+      const auto r = run(sweep, p, n, harness::Attack::CoinHiding, 6);
       t.add_row(
           {expsup::Table::num(f),
            expsup::Table::num(std::uint64_t{
@@ -149,14 +153,15 @@ int main() {
       cfg.attack = attack;
       cfg.inputs = harness::InputPattern::Alternating;
       cfg.drop_prob = 1.0;
-      const auto r = harness::run_experiment(cfg);
+      const auto trial = sweep.run(cfg);
+      const auto& r = trial.result;
       t.add_row({attack == harness::Attack::RandomOmission
                      ? "general omission"
                      : "send-only omission",
                  expsup::Table::num(r.time_rounds),
                  expsup::Table::num(std::uint64_t{r.operative_end}),
                  expsup::Table::num(r.metrics.omitted),
-                 r.ok() ? "yes" : "NO"});
+                 trial.ok() ? "yes" : "NO"});
     }
     t.print(std::cout);
   }
@@ -174,5 +179,8 @@ int main() {
                "\n(e) send-only omissions drop ~40% fewer messages at the"
                "\nsame budget: the general-omission model the paper solves"
                "\nis strictly harsher." << std::endl;
+  sweep.print_summary(std::cerr);
   return 0;
 }
+
+int main() { return harness::guarded_main(run_bench); }

@@ -22,6 +22,7 @@
 #include "core/params.h"
 #include "expsup/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "rng/ledger.h"
 #include "sim/runner.h"
 
@@ -59,7 +60,8 @@ sim::Metrics run_gossip(std::uint32_t n, std::uint32_t t,
 
 }  // namespace
 
-int main() {
+int run_bench() {
+  harness::Sweep sweep;
   const std::uint32_t horizon = 24;
   expsup::Table table(
       "§B.3 — doubling gossip: crashes vs omissions (fixed 24 exchanges)",
@@ -80,7 +82,7 @@ int main() {
     cfg.t = core::Params::max_t_optimal(n);
     cfg.attack = harness::Attack::RandomOmission;
     cfg.inputs = harness::InputPattern::Random;
-    const auto alg1 = harness::run_experiment(cfg);
+    const auto alg1 = sweep.run(cfg).result;
     const core::Params params;
     const double per_epoch =
         static_cast<double>(alg1.metrics.messages) /
@@ -101,5 +103,8 @@ int main() {
                "\nargues. Algorithm 1's operative machinery pays a flat"
                "\nO~(n^1.5) per epoch under the same omissions."
             << std::endl;
+  sweep.print_summary(std::cerr);
   return 0;
 }
+
+int main() { return harness::guarded_main(run_bench); }

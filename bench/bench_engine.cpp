@@ -13,11 +13,13 @@
 // wall time may move, and only on multi-core hardware.
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/params.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "sim/runner.h"
 #include "support/thread_pool.h"
 
@@ -37,7 +39,8 @@ struct Sample {
   omx::sim::Metrics metrics;
 };
 
-Sample run_workload(const Workload& w, unsigned threads) {
+Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
+                    unsigned threads) {
   Sample best;
   for (int rep = 0; rep < w.reps; ++rep) {
     omx::harness::ExperimentConfig cfg;
@@ -51,7 +54,7 @@ Sample run_workload(const Workload& w, unsigned threads) {
     omx::sim::EngineStats stats;
     cfg.engine_stats = &stats;
     const auto t0 = std::chrono::steady_clock::now();
-    const auto res = omx::harness::run_experiment(cfg);
+    const auto res = sweep.run(cfg).result;
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -71,7 +74,8 @@ Sample run_workload(const Workload& w, unsigned threads) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
+  omx::harness::Sweep trials;
   const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
   const std::vector<Workload> workloads = {
       {"floodset/none/256", omx::harness::Algo::FloodSet,
@@ -97,7 +101,7 @@ int main(int argc, char** argv) {
       ",\n  \"workloads\": [\n";
   bool first = true;
   for (const auto& w : workloads) {
-    const Sample s = run_workload(w, /*threads=*/1);
+    const Sample s = run_workload(trials, w, /*threads=*/1);
     char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
@@ -133,7 +137,7 @@ int main(int argc, char** argv) {
   first = true;
   for (const auto& w : sweep) {
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-      const Sample s = run_workload(w, threads);
+      const Sample s = run_workload(trials, w, threads);
       char buf[1024];
       std::snprintf(
           buf, sizeof(buf),
@@ -162,5 +166,10 @@ int main(int argc, char** argv) {
     std::printf("could not write %s\n", out_path);
     return 1;
   }
+  trials.print_summary(std::cerr);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return omx::harness::guarded_main([&] { return run_bench(argc, argv); });
 }

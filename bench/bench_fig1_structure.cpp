@@ -21,10 +21,11 @@
 #include "graph/validate.h"
 #include "groups/partition.h"
 #include "support/prng.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
-int main() {
+int run_bench() {
   const core::Params params;
   expsup::Table table(
       "Figure 1 / Theorem 4 — decomposition + common graph structure",
@@ -95,3 +96,5 @@ int main() {
                "\nmachinery relies on." << std::endl;
   return 0;
 }
+
+int main() { return omx::harness::guarded_main(run_bench); }

@@ -20,6 +20,7 @@
 #include "expsup/table.h"
 #include "groups/partition.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "rng/ledger.h"
 #include "sim/runner.h"
 
@@ -76,7 +77,8 @@ class Wiretap final : public sim::Adversary<core::Msg> {
 
 }  // namespace
 
-int main() {
+int run_bench() {
+  harness::Sweep sweep;
   const std::uint32_t n = 1024;
   const std::uint32_t t = core::Params::max_t_optimal(n);
   const core::Params params;
@@ -143,12 +145,15 @@ int main() {
     cfg.t = core::Params::max_t_optimal(nn);
     cfg.attack = harness::Attack::GroupKiller;
     cfg.inputs = harness::InputPattern::Random;
-    const auto r = harness::run_experiment(cfg);
+    const auto r = sweep.run(cfg).result;
     downgrade.add_row({expsup::Table::num(std::uint64_t{nn}),
                        expsup::Table::num(std::uint64_t{cfg.t}),
                        expsup::Table::num(std::uint64_t{r.operative_end}),
                        expsup::Table::num(std::uint64_t{nn - 3 * cfg.t})});
   }
   downgrade.print(std::cout);
+  sweep.print_summary(std::cerr);
   return 0;
 }
+
+int main() { return harness::guarded_main(run_bench); }

@@ -18,6 +18,7 @@
 #include "expsup/parallel.h"
 #include "expsup/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
@@ -48,7 +49,8 @@ std::vector<std::uint8_t> inputs_with_fraction(std::uint32_t n, double f) {
 
 }  // namespace
 
-int main() {
+int run_bench() {
+  harness::Sweep sweep;  // thread-safe: trials fan out via parallel_map
   const std::uint32_t n = 150;
   const std::uint32_t t = core::Params::max_t_optimal(n);
   const std::uint32_t seeds = 15;
@@ -72,13 +74,14 @@ int main() {
         configs.push_back(std::move(cfg));
       }
       const auto results = expsup::parallel_map(
-          configs, [](const harness::ExperimentConfig& cfg) {
-            return harness::run_experiment(cfg);
+          configs, [&sweep](const harness::ExperimentConfig& cfg) {
+            return sweep.run(cfg);
           });
       std::uint32_t ones_decisions = 0, ok = 0;
       double coins = 0, rounds = 0;
-      for (const auto& r : results) {
-        ok += r.ok();
+      for (const auto& trial : results) {
+        const auto& r = trial.result;
+        ok += trial.ok();
         ones_decisions += (r.decision == 1);
         coins += static_cast<double>(r.metrics.random_bits) / seeds;
         rounds += static_cast<double>(r.time_rounds) / seeds;
@@ -102,5 +105,8 @@ int main() {
                "\noutcomes. Under the coin-hiding adversary the spike grows"
                "\n(forced repeat coin epochs); every run still meets the"
                "\nspec." << std::endl;
+  sweep.print_summary(std::cerr);
   return 0;
 }
+
+int main() { return harness::guarded_main(run_bench); }

@@ -12,10 +12,11 @@
 #include "coinflip/game.h"
 #include "expsup/fit.h"
 #include "expsup/table.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
-int main() {
+int run_bench() {
   const std::uint64_t trials = 20000;
 
   expsup::Table table(
@@ -69,3 +70,5 @@ int main() {
             << std::endl;
   return 0;
 }
+
+int main() { return omx::harness::guarded_main(run_bench); }

@@ -18,10 +18,11 @@
 
 #include "expsup/table.h"
 #include "valency/explorer.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
-int main() {
+int run_bench() {
   expsup::Table table(
       "Lemma 13 — valency census of the flood-set game (exhaustive)",
       {"n", "t", "assignments", "0-valent", "1-valent", "bivalent",
@@ -63,3 +64,5 @@ int main() {
             << std::endl;
   return 0;
 }
+
+int main() { return omx::harness::guarded_main(run_bench); }

@@ -3,6 +3,8 @@
 // game, and full consensus executions at several scales.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "adversary/strategies.h"
 #include "coinflip/game.h"
 #include "core/optimal_core.h"
@@ -12,12 +14,20 @@
 #include "groups/partition.h"
 #include "groups/tree.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "rng/ledger.h"
 #include "sim/runner.h"
 
 using namespace omx;
 
 namespace {
+
+// One sweep shared by the consensus BM_ functions: a trial that throws is
+// recorded (and repro-captured) instead of aborting the whole binary.
+harness::Sweep& micro_sweep() {
+  static harness::Sweep sweep;
+  return sweep;
+}
 
 void BM_GraphBuild(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -103,7 +113,7 @@ void BM_OptimalConsensusRun(benchmark::State& state) {
     cfg.t = core::Params::max_t_optimal(n);
     cfg.inputs = harness::InputPattern::Random;
     cfg.seed = seed++;
-    const auto r = harness::run_experiment(cfg);
+    const auto r = micro_sweep().run(cfg).result;
     benchmark::DoNotOptimize(r.metrics.comm_bits);
   }
   state.SetLabel("full run incl. graph build");
@@ -121,7 +131,7 @@ void BM_ParamConsensusRun(benchmark::State& state) {
     cfg.t = core::Params::max_t_param(n);
     cfg.inputs = harness::InputPattern::Random;
     cfg.seed = seed++;
-    const auto r = harness::run_experiment(cfg);
+    const auto r = micro_sweep().run(cfg).result;
     benchmark::DoNotOptimize(r.metrics.comm_bits);
   }
 }
@@ -137,7 +147,7 @@ void BM_FloodSetRun(benchmark::State& state) {
     cfg.t = core::Params::max_t_optimal(n);
     cfg.attack = harness::Attack::RandomOmission;
     cfg.seed = seed++;
-    const auto r = harness::run_experiment(cfg);
+    const auto r = micro_sweep().run(cfg).result;
     benchmark::DoNotOptimize(r.metrics.comm_bits);
   }
 }
@@ -145,4 +155,13 @@ BENCHMARK(BM_FloodSetRun)->Arg(256)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return harness::guarded_main([&] {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    micro_sweep().print_summary(std::cerr);
+    return 0;
+  });
+}

@@ -20,10 +20,12 @@
 #include "expsup/fit.h"
 #include "expsup/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
-int main() {
+int run_bench() {
+  harness::Sweep sweep;
   // ---------- (A) coin-hiding delay on the vote-style baseline ----------
   expsup::Table delay(
       "Table 1 / row [10] — coin-hiding adversary vs Ben-Or-style voting",
@@ -43,10 +45,10 @@ int main() {
       cfg.seed = seed;
       cfg.attack = harness::Attack::CoinHiding;
       attacked += static_cast<double>(
-                      harness::run_experiment(cfg).time_rounds) / seeds;
+                      sweep.run(cfg).result.time_rounds) / seeds;
       cfg.attack = harness::Attack::None;
       benign += static_cast<double>(
-                    harness::run_experiment(cfg).time_rounds) / seeds;
+                    sweep.run(cfg).result.time_rounds) / seeds;
     }
     const double theory =
         t / std::sqrt(static_cast<double>(n) * std::log2(double(n)));
@@ -110,7 +112,8 @@ int main() {
     cfg.attack = row.algo == harness::Algo::FloodSet
                      ? harness::Attack::RandomOmission
                      : harness::Attack::CoinHiding;
-    const auto r = harness::run_experiment(cfg);
+    const auto trial = sweep.run(cfg);
+    const auto& r = trial.result;
     const double T = static_cast<double>(r.time_rounds);
     const double R = static_cast<double>(r.metrics.random_calls);
     const double product = T * (R + T);
@@ -123,12 +126,15 @@ int main() {
          expsup::Table::num(std::uint64_t{cfg.t}), expsup::Table::num(T),
          expsup::Table::num(R), expsup::Table::num(product),
          expsup::Table::num(bound), expsup::Table::num(product / bound),
-         r.ok() ? "yes" : "NO"});
+         trial.ok() ? "yes" : "NO"});
   }
   frontier.print(std::cout);
   std::cout << "\nReading: every correct algorithm's T x (R+T) stays above a"
                "\nconstant multiple of t^2/log n (Theorem 2); randomness-"
                "\nstarved configurations pay with proportionally more rounds."
             << std::endl;
+  sweep.print_summary(std::cerr);
   return 0;
 }
+
+int main() { return harness::guarded_main(run_bench); }

@@ -19,6 +19,7 @@
 #include "expsup/fit.h"
 #include "expsup/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
@@ -39,7 +40,8 @@ void record(Series& s, double n, const harness::ExperimentResult& r) {
 
 }  // namespace
 
-int main() {
+int run_bench() {
+  harness::Sweep sweep;  // fault isolation + env-driven checkpoint/watchdog
   const std::vector<std::uint32_t> sizes{64, 128, 256, 512, 1024};
   const std::vector<harness::Attack> attacks{
       harness::Attack::None, harness::Attack::RandomOmission,
@@ -74,8 +76,9 @@ int main() {
         cfg.n = n;
         cfg.t = t;
         cfg.seed = seed * 7919;
-        const auto r = harness::run_experiment(cfg);
-        ok += r.ok();
+        const auto trial = sweep.run(cfg);
+        const auto& r = trial.result;
+        ok += trial.ok();
         fallbacks += r.time_rounds > no_fb_horizon;
         acc.time_rounds += r.time_rounds;
         acc.metrics.messages += r.metrics.messages;
@@ -115,7 +118,8 @@ int main() {
                        : harness::Attack::StaticCrash;
       cfg.n = n;
       cfg.t = t;
-      const auto r = harness::run_experiment(cfg);
+      const auto trial = sweep.run(cfg);
+      const auto& r = trial.result;
       table.add_row({harness::to_string(algo), harness::to_string(cfg.attack),
                      expsup::Table::num(std::uint64_t{n}),
                      expsup::Table::num(std::uint64_t{t}),
@@ -123,7 +127,7 @@ int main() {
                      expsup::Table::num(r.metrics.messages),
                      expsup::Table::num(r.metrics.comm_bits),
                      expsup::Table::num(r.metrics.random_bits), "-",
-                     r.ok() ? "yes" : "NO"});
+                     trial.ok() ? "yes" : "NO"});
       record(algo == harness::Algo::FloodSet ? det : benor, n, r);
     }
   }
@@ -163,5 +167,8 @@ int main() {
       "\nNote: at laptop n the polylog terms dominate the sqrt(n) round\n"
       "advantage over the Theta(t) baseline (crossover needs n ~ 2^26 at\n"
       "paper constants); the exponents above are the reproduction target.\n");
+  sweep.print_summary(std::cerr);
   return 0;
 }
+
+int main() { return harness::guarded_main(run_bench); }

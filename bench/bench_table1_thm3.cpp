@@ -15,10 +15,12 @@
 #include "expsup/fit.h"
 #include "expsup/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 using namespace omx;
 
-int main() {
+int run_bench() {
+  harness::Sweep sweep;
   for (std::uint32_t n : {256u, 576u}) {
     const std::uint32_t t = core::Params::max_t_param(n);
     expsup::Table table(
@@ -41,8 +43,9 @@ int main() {
         cfg.t = t;
         cfg.x = x;
         cfg.seed = seed;
-        const auto r = harness::run_experiment(cfg);
-        ok += r.ok();
+        const auto trial = sweep.run(cfg);
+        const auto& r = trial.result;
+        ok += trial.ok();
         time += static_cast<double>(r.time_rounds) / seeds;
         rand_bits += static_cast<double>(r.metrics.random_bits) / seeds;
         bits += static_cast<double>(r.metrics.comm_bits) / seeds;
@@ -76,5 +79,8 @@ int main() {
                "\nwith x, their product stays inside a polylog band of n^2,"
                "\nand communication does not depend on the randomness level."
             << std::endl;
+  sweep.print_summary(std::cerr);
   return 0;
 }
+
+int main() { return harness::guarded_main(run_bench); }

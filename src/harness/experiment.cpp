@@ -1,8 +1,10 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "adversary/strategies.h"
@@ -51,6 +53,40 @@ const char* to_string(InputPattern p) {
     case InputPattern::Alternating: return "alternating";
   }
   return "?";
+}
+
+bool algo_from_string(const std::string& s, Algo* out) {
+  for (auto a : {Algo::Optimal, Algo::Param, Algo::FloodSet, Algo::BenOr}) {
+    if (s == to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool attack_from_string(const std::string& s, Attack* out) {
+  for (auto a : {Attack::None, Attack::StaticCrash, Attack::RandomOmission,
+                 Attack::SendOmission, Attack::SplitBrain,
+                 Attack::GroupKiller, Attack::CoinHiding, Attack::Chaos}) {
+    if (s == to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool inputs_from_string(const std::string& s, InputPattern* out) {
+  for (auto p : {InputPattern::AllZero, InputPattern::AllOne,
+                 InputPattern::Half, InputPattern::Random,
+                 InputPattern::OneDissent, InputPattern::Alternating}) {
+    if (s == to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<std::uint8_t> make_inputs(InputPattern pattern, std::uint32_t n,
@@ -154,11 +190,24 @@ std::unique_ptr<sim::Adversary<Msg>> make_adversary(
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  OMX_REQUIRE(cfg.n >= 1, "need at least one process");
+  // Validate the whole config eagerly so a bad trial fails here, with the
+  // offending values, before any machine or ledger state is built.
+  OMX_REQUIRE(cfg.n >= 1, "need at least one process (n=0)");
+  OMX_REQUIRE(cfg.t < cfg.n,
+              "fault budget must satisfy t < n (t=" + std::to_string(cfg.t) +
+                  ", n=" + std::to_string(cfg.n) + ")");
+  OMX_REQUIRE(cfg.x >= 1, "super-process count must be >= 1 (x=0)");
+  OMX_REQUIRE(cfg.drop_prob >= 0.0 && cfg.drop_prob <= 1.0,
+              "drop_prob must lie in [0,1] (drop_prob=" +
+                  std::to_string(cfg.drop_prob) + ")");
+  OMX_REQUIRE(cfg.explicit_inputs.empty() ||
+                  cfg.explicit_inputs.size() == cfg.n,
+              "explicit_inputs must have exactly n entries (" +
+                  std::to_string(cfg.explicit_inputs.size()) +
+                  " given, n=" + std::to_string(cfg.n) + ")");
   auto inputs = cfg.explicit_inputs.empty()
                     ? make_inputs(cfg.inputs, cfg.n, cfg.seed)
                     : cfg.explicit_inputs;
-  OMX_REQUIRE(inputs.size() == cfg.n, "explicit inputs must have n entries");
 
   rng::Ledger ledger(cfg.n, cfg.seed);
   if (cfg.random_bit_budget != rng::kUnlimited) {
@@ -222,6 +271,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sim::Runner<Msg>::Options opts;
   opts.max_rounds =
       cfg.max_rounds ? cfg.max_rounds : schedule_hint + cfg.n + 16;
+  opts.deadline = std::chrono::milliseconds(cfg.deadline_ms);
   opts.stats = cfg.engine_stats;
   opts.threads = cfg.threads;
   sim::Runner<Msg> runner(cfg.n, cfg.t, &ledger, adversary.get(), opts);
@@ -238,6 +288,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   ExperimentResult res;
   res.metrics = rr.metrics;
   res.hit_round_cap = rr.hit_round_cap;
+  res.hit_deadline = rr.hit_deadline;
   res.corrupted = rr.metrics.corrupted;
 
   auto outcome_of = [&](sim::ProcessId p) -> core::MemberOutcome {

@@ -49,6 +49,12 @@ const char* to_string(Algo a);
 const char* to_string(Attack a);
 const char* to_string(InputPattern p);
 
+/// Inverse of to_string (every enumerator is covered; used by the CLI and
+/// the sweep's repro files). Return false on an unknown name.
+bool algo_from_string(const std::string& s, Algo* out);
+bool attack_from_string(const std::string& s, Attack* out);
+bool inputs_from_string(const std::string& s, InputPattern* out);
+
 struct ExperimentConfig {
   Algo algo = Algo::Optimal;
   Attack attack = Attack::None;
@@ -67,6 +73,10 @@ struct ExperimentConfig {
   double drop_prob = 0.8;
   /// Engine safety cap; 0 = machine schedule + slack.
   std::uint64_t max_rounds = 0;
+  /// Cooperative wall-clock watchdog for the whole run, in milliseconds;
+  /// 0 = none. Checked by the engine at round boundaries — a stalled trial
+  /// ends with ExperimentResult::hit_deadline instead of hanging the sweep.
+  std::uint64_t deadline_ms = 0;
   /// Worker lanes for the engine's computation phase: 1 = serial (default),
   /// 0 = one lane per hardware thread, k = exactly k lanes. Results are
   /// bit-identical at every setting.
@@ -83,6 +93,8 @@ struct ExperimentResult {
   bool validity = false;
   bool all_nonfaulty_decided = false;
   bool hit_round_cap = false;
+  /// Run was cut short by ExperimentConfig::deadline_ms.
+  bool hit_deadline = false;
   std::uint8_t decision = 0;  // decision of non-faulty processes (if any)
   std::uint32_t corrupted = 0;
   std::uint32_t operative_end = 0;  // operative count at the end (0 if n/a)

@@ -1,0 +1,627 @@
+#include "harness/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "rng/ledger.h"
+#include "support/check.h"
+#include "support/prng.h"
+
+namespace omx::harness {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Ok: return "ok";
+    case Verdict::RoundCap: return "round_cap";
+    case Verdict::Timeout: return "timeout";
+    case Verdict::Precondition: return "precondition";
+    case Verdict::Invariant: return "invariant";
+    case Verdict::AdversaryViolation: return "adversary_violation";
+  }
+  return "?";
+}
+
+namespace {
+
+bool verdict_from_string(const std::string& s, Verdict* out) {
+  for (auto v : {Verdict::Ok, Verdict::RoundCap, Verdict::Timeout,
+                 Verdict::Precondition, Verdict::Invariant,
+                 Verdict::AdversaryViolation}) {
+    if (s == to_string(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Shortest decimal that round-trips a double (repro files and hashes must
+/// agree bit-for-bit with what parse_config reads back).
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// --- minimal JSON (flat objects of strings / integers / bools) ---
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Parse one flat JSON object {"k":v,...} with string / number / bool
+/// values. Tolerant of nothing else — checkpoint lines are machine-written
+/// — so any deviation (e.g. a line torn by kill -9) simply fails.
+bool parse_flat_json(const std::string& line,
+                     std::unordered_map<std::string, std::string>* out) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto parse_string = [&](std::string* s) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    s->clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        if (i + 1 >= line.size()) return false;
+        const char e = line[i + 1];
+        i += 2;
+        switch (e) {
+          case '"': *s += '"'; break;
+          case '\\': *s += '\\'; break;
+          case '/': *s += '/'; break;
+          case 'n': *s += '\n'; break;
+          case 'r': *s += '\r'; break;
+          case 't': *s += '\t'; break;
+          case 'u': {
+            if (i + 4 > line.size()) return false;
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(line.substr(i, 4).c_str(), nullptr, 16));
+            i += 4;
+            *s += static_cast<char>(code);  // checkpoint only escapes < 0x20
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        *s += line[i++];
+      }
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return true;
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(&key)) return false;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(&value)) return false;
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      value = line.substr(start, i - start);
+      while (!value.empty() && (value.back() == ' ' || value.back() == '\t'))
+        value.pop_back();
+      if (value.empty()) return false;
+    }
+    (*out)[key] = value;
+    skip_ws();
+    if (i >= line.size()) return false;
+    if (line[i] == '}') return true;
+    if (line[i] != ',') return false;
+    ++i;
+  }
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/// One checkpoint line: the full TrialOutcome, keyed by config hash. Every
+/// field a driver prints must be here, or resume would not be
+/// byte-identical with the uninterrupted run.
+std::string to_json_line(const std::string& key, const TrialOutcome& o) {
+  const ExperimentResult& r = o.result;
+  std::ostringstream os;
+  os << "{\"key\":\"" << key << "\""
+     << ",\"verdict\":\"" << to_string(o.verdict) << "\""
+     << ",\"attempts\":" << o.attempts
+     << ",\"seed\":" << o.seed_used
+     << ",\"time_rounds\":" << r.time_rounds
+     << ",\"rounds\":" << r.metrics.rounds
+     << ",\"messages\":" << r.metrics.messages
+     << ",\"comm_bits\":" << r.metrics.comm_bits
+     << ",\"random_calls\":" << r.metrics.random_calls
+     << ",\"random_bits\":" << r.metrics.random_bits
+     << ",\"omitted\":" << r.metrics.omitted
+     << ",\"corrupted\":" << r.corrupted
+     << ",\"operative_end\":" << r.operative_end
+     << ",\"decision\":" << unsigned{r.decision}
+     << ",\"agreement\":" << (r.agreement ? "true" : "false")
+     << ",\"validity\":" << (r.validity ? "true" : "false")
+     << ",\"all_decided\":" << (r.all_nonfaulty_decided ? "true" : "false")
+     << ",\"hit_round_cap\":" << (r.hit_round_cap ? "true" : "false")
+     << ",\"hit_deadline\":" << (r.hit_deadline ? "true" : "false")
+     << ",\"error\":\"" << json_escape(o.error) << "\""
+     << ",\"repro\":\"" << json_escape(o.repro_path) << "\"}";
+  return os.str();
+}
+
+bool outcome_from_json_line(const std::string& line, std::string* key,
+                            TrialOutcome* o) {
+  std::unordered_map<std::string, std::string> kv;
+  if (!parse_flat_json(line, &kv)) return false;
+  const auto need = [&](const char* k, std::string* dst) -> bool {
+    const auto it = kv.find(k);
+    if (it == kv.end()) return false;
+    *dst = it->second;
+    return true;
+  };
+  std::string s;
+  if (!need("key", key)) return false;
+  if (!need("verdict", &s) || !verdict_from_string(s, &o->verdict))
+    return false;
+  if (!need("attempts", &s)) return false;
+  o->attempts = static_cast<std::uint32_t>(to_u64(s));
+  if (!need("seed", &s)) return false;
+  o->seed_used = to_u64(s);
+  ExperimentResult& r = o->result;
+  if (!need("time_rounds", &s)) return false;
+  r.time_rounds = to_u64(s);
+  if (!need("rounds", &s)) return false;
+  r.metrics.rounds = to_u64(s);
+  if (!need("messages", &s)) return false;
+  r.metrics.messages = to_u64(s);
+  if (!need("comm_bits", &s)) return false;
+  r.metrics.comm_bits = to_u64(s);
+  if (!need("random_calls", &s)) return false;
+  r.metrics.random_calls = to_u64(s);
+  if (!need("random_bits", &s)) return false;
+  r.metrics.random_bits = to_u64(s);
+  if (!need("omitted", &s)) return false;
+  r.metrics.omitted = to_u64(s);
+  if (!need("corrupted", &s)) return false;
+  r.corrupted = static_cast<std::uint32_t>(to_u64(s));
+  r.metrics.corrupted = r.corrupted;
+  if (!need("operative_end", &s)) return false;
+  r.operative_end = static_cast<std::uint32_t>(to_u64(s));
+  if (!need("decision", &s)) return false;
+  r.decision = static_cast<std::uint8_t>(to_u64(s));
+  if (!need("agreement", &s)) return false;
+  r.agreement = s == "true";
+  if (!need("validity", &s)) return false;
+  r.validity = s == "true";
+  if (!need("all_decided", &s)) return false;
+  r.all_nonfaulty_decided = s == "true";
+  if (!need("hit_round_cap", &s)) return false;
+  r.hit_round_cap = s == "true";
+  if (!need("hit_deadline", &s)) return false;
+  r.hit_deadline = s == "true";
+  if (!need("error", &o->error)) return false;
+  if (!need("repro", &o->repro_path)) return false;
+  o->from_checkpoint = true;
+  return true;
+}
+
+bool transient(Verdict v) {
+  return v == Verdict::Timeout || v == Verdict::RoundCap;
+}
+
+bool model_violation(Verdict v) {
+  return v == Verdict::Precondition || v == Verdict::Invariant ||
+         v == Verdict::AdversaryViolation;
+}
+
+}  // namespace
+
+std::string serialize_config(const ExperimentConfig& cfg) {
+  std::ostringstream os;
+  os << "algo=" << to_string(cfg.algo) << "\n";
+  os << "attack=" << to_string(cfg.attack) << "\n";
+  os << "n=" << cfg.n << "\n";
+  os << "t=" << cfg.t << "\n";
+  os << "x=" << cfg.x << "\n";
+  os << "inputs=" << to_string(cfg.inputs) << "\n";
+  if (!cfg.explicit_inputs.empty()) {
+    os << "explicit_inputs=";
+    for (const auto b : cfg.explicit_inputs) os << (b ? '1' : '0');
+    os << "\n";
+  }
+  os << "seed=" << cfg.seed << "\n";
+  os << "random_bit_budget=" << cfg.random_bit_budget << "\n";
+  os << "drop_prob=" << format_double(cfg.drop_prob) << "\n";
+  os << "max_rounds=" << cfg.max_rounds << "\n";
+  os << "deadline_ms=" << cfg.deadline_ms << "\n";
+  os << "threads=" << cfg.threads << "\n";
+  os << "params.delta_factor=" << format_double(cfg.params.delta_factor)
+     << "\n";
+  os << "params.spread_factor=" << format_double(cfg.params.spread_factor)
+     << "\n";
+  os << "params.epoch_factor=" << format_double(cfg.params.epoch_factor)
+     << "\n";
+  os << "params.gossip_factor=" << format_double(cfg.params.gossip_factor)
+     << "\n";
+  os << "params.min_epochs=" << cfg.params.min_epochs << "\n";
+  os << "params.early_decide=" << (cfg.params.early_decide ? 1 : 0) << "\n";
+  return os.str();
+}
+
+bool parse_config(const std::string& text, ExperimentConfig* out,
+                  std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  ExperimentConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return fail("bad line: " + line);
+    const std::string k = line.substr(0, eq);
+    const std::string v = line.substr(eq + 1);
+    if (k == "algo") {
+      if (!algo_from_string(v, &cfg.algo)) return fail("bad algo: " + v);
+    } else if (k == "attack") {
+      if (!attack_from_string(v, &cfg.attack))
+        return fail("bad attack: " + v);
+    } else if (k == "inputs") {
+      if (!inputs_from_string(v, &cfg.inputs))
+        return fail("bad inputs: " + v);
+    } else if (k == "explicit_inputs") {
+      cfg.explicit_inputs.clear();
+      for (const char c : v) {
+        if (c != '0' && c != '1')
+          return fail("bad explicit_inputs bit: " + std::string(1, c));
+        cfg.explicit_inputs.push_back(c == '1' ? 1 : 0);
+      }
+    } else if (k == "n") {
+      cfg.n = static_cast<std::uint32_t>(to_u64(v));
+    } else if (k == "t") {
+      cfg.t = static_cast<std::uint32_t>(to_u64(v));
+    } else if (k == "x") {
+      cfg.x = static_cast<std::uint32_t>(to_u64(v));
+    } else if (k == "seed") {
+      cfg.seed = to_u64(v);
+    } else if (k == "random_bit_budget") {
+      cfg.random_bit_budget = to_u64(v);
+    } else if (k == "drop_prob") {
+      cfg.drop_prob = std::strtod(v.c_str(), nullptr);
+    } else if (k == "max_rounds") {
+      cfg.max_rounds = to_u64(v);
+    } else if (k == "deadline_ms") {
+      cfg.deadline_ms = to_u64(v);
+    } else if (k == "threads") {
+      cfg.threads = static_cast<unsigned>(to_u64(v));
+    } else if (k == "params.delta_factor") {
+      cfg.params.delta_factor = std::strtod(v.c_str(), nullptr);
+    } else if (k == "params.spread_factor") {
+      cfg.params.spread_factor = std::strtod(v.c_str(), nullptr);
+    } else if (k == "params.epoch_factor") {
+      cfg.params.epoch_factor = std::strtod(v.c_str(), nullptr);
+    } else if (k == "params.gossip_factor") {
+      cfg.params.gossip_factor = std::strtod(v.c_str(), nullptr);
+    } else if (k == "params.min_epochs") {
+      cfg.params.min_epochs = static_cast<std::uint32_t>(to_u64(v));
+    } else if (k == "params.early_decide") {
+      cfg.params.early_decide = v == "1" || v == "true";
+    } else {
+      return fail("unknown key: " + k);
+    }
+  }
+  *out = cfg;
+  return true;
+}
+
+std::uint64_t config_hash(const ExperimentConfig& cfg) {
+  // The worker-lane count cannot change a trial's outcome (the engine is
+  // bit-identical at every setting), so it must not change the key either:
+  // a sweep resumed with a different --threads still matches its records.
+  ExperimentConfig canon = cfg;
+  canon.threads = 1;
+  canon.engine_stats = nullptr;
+  return fnv1a(serialize_config(canon));
+}
+
+std::string config_key(const ExperimentConfig& cfg) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(config_hash(cfg)));
+  return buf;
+}
+
+SweepOptions SweepOptions::from_env() {
+  SweepOptions o;
+  if (const char* v = std::getenv("OMX_SWEEP_CHECKPOINT")) {
+    o.checkpoint_path = v;
+  }
+  if (const char* v = std::getenv("OMX_SWEEP_REPRO_DIR")) o.repro_dir = v;
+  if (const char* v = std::getenv("OMX_SWEEP_DEADLINE_MS")) {
+    o.trial_deadline_ms = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("OMX_SWEEP_RETRIES")) {
+    o.max_attempts = 1 + static_cast<std::uint32_t>(
+                             std::strtoul(v, nullptr, 10));
+  }
+  if (std::getenv("OMX_SWEEP_NO_REPRO")) o.capture_repro = false;
+  return o;
+}
+
+Sweep::Sweep() : Sweep(SweepOptions::from_env()) {}
+
+Sweep::Sweep(SweepOptions options) : options_(std::move(options)) {
+  if (checkpointing()) load_checkpoint();
+}
+
+void Sweep::load_checkpoint() {
+  std::ifstream in(options_.checkpoint_path, std::ios::binary);
+  if (!in) return;  // no checkpoint yet — fresh sweep
+  std::string line;
+  std::size_t dropped = 0;
+  while (std::getline(in, line)) {
+    std::string key;
+    TrialOutcome outcome;
+    if (outcome_from_json_line(line, &key, &outcome)) {
+      recorded_[key] = std::move(outcome);
+      checkpoint_text_ += line;
+      checkpoint_text_ += '\n';
+    } else {
+      // Typically the torn final line of a killed sweep; that trial simply
+      // re-runs. The rewrite on the next record drops the debris.
+      ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "sweep: checkpoint %s: skipped %zu unparseable line(s) "
+                 "(torn by an interrupted run?)\n",
+                 options_.checkpoint_path.c_str(), dropped);
+  }
+}
+
+void Sweep::record(const std::string& key, const TrialOutcome& outcome) {
+  checkpoint_text_ += to_json_line(key, outcome);
+  checkpoint_text_ += '\n';
+  // Atomic replace: a kill at any instant leaves either the previous file
+  // or the new one, never a half-written state that would poison a resume.
+  const std::string tmp = options_.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << checkpoint_text_;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("sweep: cannot write checkpoint " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, options_.checkpoint_path, ec);
+  if (ec) {
+    throw std::runtime_error("sweep: cannot publish checkpoint " +
+                             options_.checkpoint_path + ": " + ec.message());
+  }
+}
+
+TrialOutcome Sweep::run_isolated(const ExperimentConfig& cfg) const {
+  TrialOutcome out;
+  out.seed_used = cfg.seed;
+  try {
+    out.result = run_experiment(cfg);
+    out.verdict = out.result.hit_deadline ? Verdict::Timeout
+                  : out.result.hit_round_cap ? Verdict::RoundCap
+                                             : Verdict::Ok;
+  } catch (const AdversaryViolation& e) {
+    out.verdict = Verdict::AdversaryViolation;
+    out.error = e.what();
+  } catch (const PreconditionError& e) {
+    out.verdict = Verdict::Precondition;
+    out.error = e.what();
+  } catch (const InvariantError& e) {
+    out.verdict = Verdict::Invariant;
+    out.error = e.what();
+  } catch (const rng::BudgetExhausted& e) {
+    // A protocol that overdraws instead of degrading is a protocol bug —
+    // the invariant "respect the metered budget" broke.
+    out.verdict = Verdict::Invariant;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.verdict = Verdict::Invariant;
+    out.error = e.what();
+  }
+  if (!out.error.empty()) out.result = ExperimentResult{};
+  return out;
+}
+
+std::string Sweep::capture_repro(const ExperimentConfig& cfg,
+                                 const TrialOutcome& outcome) const {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.repro_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "sweep: cannot create repro dir %s: %s\n",
+                 options_.repro_dir.c_str(), ec.message().c_str());
+    return "";
+  }
+  const std::string path =
+      options_.repro_dir + "/" + config_key(cfg) + ".repro";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  std::string first_line = outcome.error;
+  if (const auto nl = first_line.find('\n'); nl != std::string::npos) {
+    first_line.resize(nl);
+  }
+  out << "# replay with: omxsim --repro " << path << "\n";
+  out << "# verdict: " << to_string(outcome.verdict) << "\n";
+  out << "# error: " << first_line << "\n";
+  out << serialize_config(cfg);
+  if (!out) {
+    std::fprintf(stderr, "sweep: cannot write repro file %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+TrialOutcome Sweep::run(ExperimentConfig cfg) {
+  if (options_.trial_deadline_ms != 0) {
+    cfg.deadline_ms = options_.trial_deadline_ms;
+  }
+
+  std::string key;
+  if (checkpointing()) {
+    key = config_key(cfg);
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = recorded_.find(key);
+    if (it != recorded_.end()) {
+      TrialOutcome out = it->second;
+      out.from_checkpoint = true;
+      ++trials_;
+      ++resumed_;
+      ++counts_[out.verdict];
+      return out;
+    }
+  }
+
+  const std::uint64_t base_seed = cfg.seed;
+  TrialOutcome out;
+  std::uint32_t attempt = 1;
+  for (;; ++attempt) {
+    // Retries perturb the seed deterministically, so "the third attempt of
+    // trial (cfg)" is itself reproducible.
+    cfg.seed = attempt == 1 ? base_seed : mix64(base_seed, 0x5EED00 + attempt);
+    out = run_isolated(cfg);
+    if (!transient(out.verdict) || attempt >= options_.max_attempts) break;
+  }
+  out.attempts = attempt;
+
+  if (model_violation(out.verdict) && options_.capture_repro) {
+    out.repro_path = capture_repro(cfg, out);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++trials_;
+  if (attempt > 1) ++retried_;
+  ++counts_[out.verdict];
+  if (checkpointing()) {
+    recorded_[key] = out;
+    record(key, out);
+  }
+  return out;
+}
+
+std::uint64_t Sweep::trials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trials_;
+}
+
+std::uint64_t Sweep::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t bad = 0;
+  for (const auto& [v, c] : counts_) {
+    if (v != Verdict::Ok) bad += c;
+  }
+  return bad;
+}
+
+std::uint64_t Sweep::resumed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resumed_;
+}
+
+std::map<Verdict, std::uint64_t> Sweep::verdict_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::string Sweep::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "sweep: " << trials_ << " trial(s)";
+  const char* sep = " — ";
+  for (const auto& [v, c] : counts_) {
+    os << sep << c << " " << to_string(v);
+    sep = ", ";
+  }
+  if (resumed_ > 0) os << "; " << resumed_ << " from checkpoint";
+  if (retried_ > 0) os << "; " << retried_ << " retried";
+  return os.str();
+}
+
+void Sweep::print_summary(std::ostream& os) const {
+  bool interesting;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    interesting = resumed_ > 0 || retried_ > 0 ||
+                  counts_.size() > 1 ||
+                  (counts_.size() == 1 && counts_.begin()->first != Verdict::Ok);
+  }
+  if (interesting) os << summary() << "\n";
+}
+
+int guarded_main(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const AdversaryViolation& e) {
+    std::fprintf(stderr, "adversary violation: %s\n", e.what());
+    return 4;
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "precondition failed: %s\n", e.what());
+    return 2;
+  } catch (const InvariantError& e) {
+    std::fprintf(stderr, "invariant violated: %s\n", e.what());
+    return 3;
+  } catch (const rng::BudgetExhausted& e) {
+    std::fprintf(stderr, "invariant violated: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+}
+
+}  // namespace omx::harness

@@ -82,9 +82,17 @@ void Ledger::bill(std::uint32_t process, std::uint64_t drawn_bits) {
     return;
   }
   if (!admits(drawn_bits)) {
-    throw BudgetExhausted("randomness budget exhausted (calls=" +
-                          std::to_string(calls_) +
-                          ", bits=" + std::to_string(bits_) + ")");
+    throw BudgetExhausted(
+        "randomness budget exhausted: process " + std::to_string(process) +
+        " requested " + std::to_string(drawn_bits) + " bit(s) with " +
+        std::to_string(calls_) + " calls / " + std::to_string(bits_) +
+        " bits already drawn (call budget " +
+        (call_budget_ == kUnlimited ? std::string("unlimited")
+                                    : std::to_string(call_budget_)) +
+        ", bit budget " +
+        (bit_budget_ == kUnlimited ? std::string("unlimited")
+                                   : std::to_string(bit_budget_)) +
+        ")");
   }
   calls_ += 1;
   bits_ += drawn_bits;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "support/check.h"
@@ -21,6 +22,13 @@
 #include "sim/message_plane.h"
 
 namespace omx::sim {
+
+namespace referee {
+// Fault-injection referee self-test layer (sim/fault_injection.h): the only
+// code allowed to bypass the legality checks below, so the test suite can
+// prove the engine detects every class of illegal adversarial action.
+struct Backdoor;
+}  // namespace referee
 
 /// Corruption bookkeeping shared between runner and adversary context.
 class FaultState {
@@ -36,7 +44,10 @@ class FaultState {
   /// Corrupt p; returns false (no-op) if the budget is exhausted.
   /// Corrupting an already-corrupted process succeeds and costs nothing.
   bool corrupt(ProcessId p) {
-    OMX_REQUIRE(p < corrupted_.size(), "corrupt: process out of range");
+    OMX_REQUIRE(p < corrupted_.size(),
+                "corrupt: process " + std::to_string(p) +
+                    " out of range (n=" + std::to_string(corrupted_.size()) +
+                    ")");
     if (corrupted_[p]) return true;
     if (num_corrupted_ >= budget_) return false;
     corrupted_[p] = true;
@@ -45,6 +56,8 @@ class FaultState {
   }
 
  private:
+  friend struct referee::Backdoor;
+
   std::vector<bool> corrupted_;
   std::uint32_t budget_;
   std::uint32_t num_corrupted_ = 0;
@@ -131,15 +144,22 @@ class AdversaryContext {
   /// not a self-delivery.
   void drop(std::size_t idx) {
     OMX_REQUIRE(idx < plane_->num_messages(),
-                "drop: message index out of range");
+                "drop: message index " + std::to_string(idx) +
+                    " out of range (round " + std::to_string(round_) + ", " +
+                    std::to_string(plane_->num_messages()) +
+                    " messages on the wire)");
     const ProcessId from = plane_->from(idx);
     const ProcessId to = plane_->to(idx);
     if (from == to) {
-      throw AdversaryViolation("cannot omit a self-delivery");
+      throw AdversaryViolation("round " + std::to_string(round_) +
+                               ": cannot omit the self-delivery of process " +
+                               std::to_string(from));
     }
     if (!faults_->is_corrupted(from) && !faults_->is_corrupted(to)) {
       throw AdversaryViolation(
-          "cannot omit a message between two non-corrupted processes");
+          "round " + std::to_string(round_) + ": cannot omit message " +
+          std::to_string(from) + "->" + std::to_string(to) +
+          " between two non-corrupted processes");
     }
     plane_->mark_dropped(idx);
   }
@@ -159,6 +179,8 @@ class AdversaryContext {
   }
 
  private:
+  friend struct referee::Backdoor;
+
   std::uint32_t round_;
   MessagePlane<P>* plane_;
   FaultState* faults_;

@@ -25,8 +25,10 @@
 // the payloads themselves allocate internally.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -48,6 +50,20 @@ class DropSet {
   void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
   bool test(std::size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Visit every set index in ascending order (word-at-a-time scan; used by
+  /// the engine's post-intervention legality audit).
+  template <class Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto b = static_cast<unsigned>(std::countr_zero(bits));
+        fn((w << 6) + b);
+        bits &= bits - 1;
+      }
+    }
   }
 
  private:
@@ -92,8 +108,16 @@ class SendLog {
   std::size_t num_records() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
 
+  /// Stamp the round this log is collecting for (failure-message context).
+  void set_round(std::uint32_t round) { round_ = round; }
+  std::uint32_t round() const { return round_; }
+
   void send(ProcessId from, ProcessId to, P payload) {
-    OMX_CHECK(to < n_, "message addressed outside the system");
+    OMX_CHECK(to < n_, "round " + std::to_string(round_) + ": process " +
+                           std::to_string(from) +
+                           " addressed a message to process " +
+                           std::to_string(to) + ", outside the n=" +
+                           std::to_string(n_) + " system");
     const std::uint32_t slot = stash(std::move(payload));
     records_.push_back(Record{from, to, slot});
   }
@@ -116,7 +140,11 @@ class SendLog {
     const std::uint32_t slot = stash(std::move(payload));
     for (ProcessId q : to) {
       if (q == skip) continue;
-      OMX_CHECK(q < n_, "message addressed outside the system");
+      OMX_CHECK(q < n_, "round " + std::to_string(round_) + ": process " +
+                            std::to_string(from) +
+                            " multicast to process " + std::to_string(q) +
+                            ", outside the n=" + std::to_string(n_) +
+                            " system");
       records_.push_back(Record{from, q, slot});
     }
   }
@@ -130,6 +158,7 @@ class SendLog {
   }
 
   std::uint32_t n_;
+  std::uint32_t round_ = 0;
   std::vector<Record> records_;
   std::vector<P> payloads_;
 };
@@ -146,8 +175,17 @@ class MessagePlane {
   std::uint32_t num_processes() const { return n_; }
 
   /// Start a round's send phase. Clears the wire arena (capacity persists);
-  /// the previous round's delivered inboxes stay readable.
-  void begin_round() { log_.clear(); }
+  /// the previous round's delivered inboxes stay readable. The round number
+  /// stamps failure messages and guards against wrong-round injection.
+  void begin_round(std::uint32_t round = 0) {
+    round_ = round;
+    log_.clear();
+    log_.set_round(round);
+    sealed_ = 0;
+  }
+
+  /// Round currently on the wire (as stamped by begin_round).
+  std::uint32_t round() const { return round_; }
 
   // --- send side (computation phase) ---
 
@@ -173,7 +211,11 @@ class MessagePlane {
   /// record/payload sequence of a serial round: each shard steps its
   /// processes in ascending id order, so concatenation *is* id order.
   void absorb(SendLog<P>& staged) {
-    OMX_CHECK(staged.n_ == n_, "staged log targets a different system");
+    OMX_CHECK(staged.n_ == n_,
+              "round " + std::to_string(round_) +
+                  ": staged log targets a different system (staged n=" +
+                  std::to_string(staged.n_) + ", wire n=" +
+                  std::to_string(n_) + ")");
     const auto offset = static_cast<std::uint32_t>(log_.payloads_.size());
     log_.records_.reserve(log_.records_.size() + staged.records_.size());
     for (const typename SendLog<P>::Record& r : staged.records_) {
@@ -196,11 +238,22 @@ class MessagePlane {
     return log_.payloads_[log_.records_[i].payload];
   }
 
-  /// End the send phase: size the drop set to this round's messages.
-  void seal() { drops_.reset(log_.records_.size()); }
+  /// End the send phase: size the drop set to this round's messages and
+  /// record the sealed message count. From here until deliver(), the wire's
+  /// contents are frozen — the adversary may omit messages, never add them.
+  void seal() {
+    drops_.reset(log_.records_.size());
+    sealed_ = log_.records_.size();
+  }
 
   void mark_dropped(std::size_t i) { drops_.set(i); }
   bool dropped(std::size_t i) const { return drops_.test(i); }
+
+  /// Visit the index of every omitted message (engine legality audit).
+  template <class Fn>
+  void for_each_dropped(Fn&& fn) const {
+    drops_.for_each_set(fn);
+  }
 
   // --- delivery (communication phase) ---
 
@@ -209,6 +262,17 @@ class MessagePlane {
   /// buffer. Stable: each inbox sees its messages in global send order,
   /// exactly as the per-receiver push_back delivery did.
   void deliver(Metrics& m) {
+    // The wire was frozen at seal(); records appearing afterwards would be
+    // messages the adversary conjured into the round (an omission adversary
+    // may suppress messages, never create or re-inject them).
+    if (log_.records_.size() != sealed_) {
+      throw AdversaryViolation(
+          "round " + std::to_string(round_) + ": " +
+          std::to_string(log_.records_.size() - sealed_) +
+          " message(s) appeared on the wire after the computation phase was "
+          "sealed — an omission adversary cannot inject or re-route "
+          "messages");
+    }
     auto& records = log_.records_;
     auto& payloads = log_.payloads_;
     payload_bits_.resize(payloads.size());
@@ -293,8 +357,10 @@ class MessagePlane {
 
  private:
   std::uint32_t n_;
+  std::uint32_t round_ = 0;
   SendLog<P> log_;
   DropSet drops_;
+  std::size_t sealed_ = 0;  // wire size recorded at seal()
 
   // Delivery scratch + double-buffered inboxes (all capacity-persistent).
   std::vector<std::uint64_t> payload_bits_;

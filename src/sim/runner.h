@@ -39,6 +39,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,9 @@ namespace omx::sim {
 struct RunResult {
   Metrics metrics;
   bool hit_round_cap = false;
+  /// True iff the run was cut short by Options::deadline (cooperative
+  /// watchdog: checked once per round before the computation phase).
+  bool hit_deadline = false;
 };
 
 /// Optional per-phase wall-clock accounting (bench_engine): cumulative
@@ -80,6 +84,12 @@ class Runner {
  public:
   struct Options {
     std::uint64_t max_rounds = 1'000'000;
+    /// Cooperative wall-clock watchdog: when nonzero, the engine checks the
+    /// elapsed time at every round boundary and stops the run with
+    /// RunResult::hit_deadline instead of spinning forever under an
+    /// adversary that stalls the protocol. Never interrupts mid-round, so a
+    /// deadline cannot corrupt state or tear a checkpointed trial.
+    std::chrono::nanoseconds deadline{0};
     EngineStats* stats = nullptr;
     /// Worker lanes for the computation phase: 1 = serial (default),
     /// 0 = one lane per hardware thread, k = exactly k lanes.
@@ -123,7 +133,9 @@ class Runner {
 
   RunResult run(Machine<P>& machine) {
     OMX_REQUIRE(machine.num_processes() == n_,
-                "machine/process-count mismatch");
+                "machine/process-count mismatch (machine has " +
+                    std::to_string(machine.num_processes()) +
+                    " processes, runner drives " + std::to_string(n_) + ")");
     const std::uint64_t base_calls = ledger_->calls();
     const std::uint64_t base_bits = ledger_->bits();
 
@@ -137,11 +149,17 @@ class Runner {
     using Clock = std::chrono::steady_clock;
     Clock::time_point t0;
     Clock::time_point t1;
+    const bool watchdog = options_.deadline.count() > 0;
+    const Clock::time_point give_up_at = Clock::now() + options_.deadline;
 
     std::uint32_t round = 0;
     while (!machine.finished()) {
       if (round >= options_.max_rounds) {
         result.hit_round_cap = true;
+        break;
+      }
+      if (watchdog && Clock::now() >= give_up_at) {
+        result.hit_deadline = true;
         break;
       }
       ledger_->begin_round_window();
@@ -151,7 +169,7 @@ class Runner {
       // runner has lanes and the ledger proves budget checks cannot depend
       // on billing order this round; serial otherwise.
       if (stats) t0 = Clock::now();
-      plane.begin_round();
+      plane.begin_round(round);
       const bool sharded =
           lanes_ > 1 && ledger_->racked_admissible(options_.rng_slack_calls,
                                                    options_.rng_slack_bits);
@@ -196,9 +214,14 @@ class Runner {
         t0 = Clock::now();
       }
 
-      // Phase 2: adversary intervention (full information).
+      // Phase 2: adversary intervention (full information), then a
+      // defense-in-depth audit: AdversaryContext validates each action
+      // eagerly, but an adversary holding a raw plane pointer (or the
+      // referee's fault-injection backdoor) could bypass it, so the engine
+      // re-validates the round's net effect before delivering.
       AdversaryContext<P> ctx(round, &plane, &faults_);
       adversary_->intervene(ctx);
+      audit_intervention(plane, round);
       if (stats) {
         stats->adversary_ns += static_cast<std::uint64_t>(
             std::chrono::nanoseconds(Clock::now() - t0).count());
@@ -224,6 +247,37 @@ class Runner {
   }
 
  private:
+  /// Legality firewall, second layer: every omission must touch a corrupted
+  /// endpoint and spare self-deliveries, and the corruption count must
+  /// respect the budget t — no matter how the adversary effected its
+  /// actions. Violations throw AdversaryViolation with round/process
+  /// context, matching what AdversaryContext enforces eagerly.
+  void audit_intervention(const MessagePlane<P>& plane, std::uint32_t round) {
+    if (faults_.num_corrupted() > faults_.budget()) {
+      throw AdversaryViolation(
+          "round " + std::to_string(round) +
+          ": corruption budget exceeded (" +
+          std::to_string(faults_.num_corrupted()) +
+          " corrupted processes > t=" + std::to_string(faults_.budget()) +
+          ")");
+    }
+    plane.for_each_dropped([&](std::size_t i) {
+      const ProcessId from = plane.from(i);
+      const ProcessId to = plane.to(i);
+      if (from == to) {
+        throw AdversaryViolation(
+            "round " + std::to_string(round) +
+            ": omitted the self-delivery of process " + std::to_string(from));
+      }
+      if (!faults_.is_corrupted(from) && !faults_.is_corrupted(to)) {
+        throw AdversaryViolation(
+            "round " + std::to_string(round) + ": omitted message " +
+            std::to_string(from) + "->" + std::to_string(to) +
+            " between two non-corrupted processes");
+      }
+    });
+  }
+
   std::uint32_t n_;
   rng::Ledger* ledger_;
   Adversary<P>* adversary_;

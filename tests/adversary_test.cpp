@@ -2,6 +2,7 @@
 // the intended effect on delivery.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "adversary/strategies.h"
@@ -155,6 +156,77 @@ TEST(CoinHiding, PullsMajorityBackIntoDeadZone) {
   // 75% -> target <= 60%: hide k such that (12-k)/(16-k) <= 0.6 -> k >= 6,
   // but the per-round allowance caps it; over 2 rounds it gets there.
   // (Exact count depends on allowance; the invariant: never over budget.)
+}
+
+// --- legality firewall, eager layer: AdversaryContext refuses illegal
+// actions at the call site, with round/process context in the message ---
+
+TEST(Legality, DropOfHonestLinkThrowsWithContext) {
+  sim::MessagePlane<Bit> plane(4);
+  plane.begin_round(3);
+  plane.log().send(0, 1, Bit{1});
+  plane.seal();
+  sim::FaultState faults(4, 2);
+  sim::AdversaryContext<Bit> ctx(3, &plane, &faults);
+  try {
+    ctx.drop(0);
+    FAIL() << "honest-honest drop was accepted";
+  } catch (const AdversaryViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("round 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("0->1"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-corrupted"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(ctx.dropped(0));  // the illegal action left no trace
+}
+
+TEST(Legality, DropOfSelfDeliveryThrowsEvenWhenCorrupted) {
+  sim::MessagePlane<Bit> plane(4);
+  plane.begin_round(5);
+  plane.log().send(2, 2, Bit{1});
+  plane.seal();
+  sim::FaultState faults(4, 2);
+  faults.corrupt(2);  // corruption does not legalize a self-delivery drop
+  sim::AdversaryContext<Bit> ctx(5, &plane, &faults);
+  try {
+    ctx.drop(0);
+    FAIL() << "self-delivery drop was accepted";
+  } catch (const AdversaryViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("round 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("self-delivery of process 2"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Legality, DropLegalOnceAnEndpointIsCorrupted) {
+  sim::MessagePlane<Bit> plane(4);
+  plane.begin_round(0);
+  plane.log().send(0, 1, Bit{1});
+  plane.seal();
+  sim::FaultState faults(4, 2);
+  sim::AdversaryContext<Bit> ctx(0, &plane, &faults);
+  ASSERT_TRUE(ctx.corrupt(1));  // receiver corrupted → drop becomes legal
+  ctx.drop(0);
+  EXPECT_TRUE(ctx.dropped(0));
+}
+
+TEST(Legality, DropIndexOutOfRangeIsAPrecondition) {
+  sim::MessagePlane<Bit> plane(4);
+  plane.begin_round(0);
+  plane.seal();
+  sim::FaultState faults(4, 2);
+  sim::AdversaryContext<Bit> ctx(0, &plane, &faults);
+  EXPECT_THROW(ctx.drop(0), PreconditionError);  // empty wire
+}
+
+TEST(Legality, CorruptBeyondBudgetIsRefusedNotSilentlyClamped) {
+  sim::FaultState faults(4, 1);
+  EXPECT_TRUE(faults.corrupt(0));
+  EXPECT_TRUE(faults.corrupt(0));  // re-corruption is free
+  EXPECT_FALSE(faults.corrupt(1));  // budget spent
+  EXPECT_EQ(faults.num_corrupted(), 1u);
+  EXPECT_THROW(faults.corrupt(99), PreconditionError);  // out of range
 }
 
 TEST(CoinHiding, IdleWhenBalanced) {

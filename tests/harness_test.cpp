@@ -3,6 +3,8 @@
 // validation, and time accounting.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/params.h"
 #include "harness/experiment.h"
 #include "rng/ledger.h"
@@ -136,6 +138,102 @@ TEST(Harness, OperativeEndReportedForOperativeAlgorithmsOnly) {
   cfg.algo = Algo::FloodSet;
   const auto flood = run_experiment(cfg);
   EXPECT_EQ(flood.operative_end, 0u);  // concept does not apply
+}
+
+
+// --- eager config validation: run_experiment rejects an invalid config up
+// front with the offending values in the message, before building anything ---
+
+std::string precondition_message(const ExperimentConfig& cfg) {
+  try {
+    run_experiment(cfg);
+  } catch (const PreconditionError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(HarnessValidation, RejectsFaultBudgetAtLeastN) {
+  ExperimentConfig cfg;
+  cfg.algo = Algo::FloodSet;
+  cfg.n = 8;
+  cfg.t = 8;
+  const std::string msg = precondition_message(cfg);
+  ASSERT_FALSE(msg.empty()) << "t >= n was accepted";
+  EXPECT_NE(msg.find("t=8"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("n=8"), std::string::npos) << msg;
+}
+
+TEST(HarnessValidation, RejectsZeroProcessesAndZeroSuperProcesses) {
+  ExperimentConfig cfg;
+  cfg.n = 0;
+  EXPECT_FALSE(precondition_message(cfg).empty());
+  cfg = ExperimentConfig{};
+  cfg.algo = Algo::Param;
+  cfg.n = 64;
+  cfg.t = 1;
+  cfg.x = 0;
+  const std::string msg = precondition_message(cfg);
+  ASSERT_FALSE(msg.empty()) << "x = 0 was accepted";
+  EXPECT_NE(msg.find("x=0"), std::string::npos) << msg;
+}
+
+TEST(HarnessValidation, RejectsDropProbOutsideUnitInterval) {
+  for (const double p : {-0.1, 1.5}) {
+    ExperimentConfig cfg;
+    cfg.algo = Algo::FloodSet;
+    cfg.n = 8;
+    cfg.t = 2;
+    cfg.attack = Attack::RandomOmission;
+    cfg.drop_prob = p;
+    const std::string msg = precondition_message(cfg);
+    ASSERT_FALSE(msg.empty()) << "drop_prob " << p << " was accepted";
+    EXPECT_NE(msg.find("drop_prob"), std::string::npos) << msg;
+  }
+}
+
+TEST(HarnessValidation, RejectsExplicitInputsOfWrongLength) {
+  ExperimentConfig cfg;
+  cfg.algo = Algo::FloodSet;
+  cfg.n = 8;
+  cfg.t = 2;
+  cfg.explicit_inputs = {1, 0, 1};  // 3 entries for n = 8
+  const std::string msg = precondition_message(cfg);
+  ASSERT_FALSE(msg.empty()) << "short explicit_inputs was accepted";
+  EXPECT_NE(msg.find("explicit_inputs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("8"), std::string::npos) << msg;
+}
+
+TEST(HarnessValidation, FromStringRoundTripsEveryEnumerator) {
+  for (const auto a : {Algo::Optimal, Algo::Param, Algo::FloodSet,
+                       Algo::BenOr}) {
+    Algo back;
+    ASSERT_TRUE(algo_from_string(to_string(a), &back)) << to_string(a);
+    EXPECT_EQ(back, a);
+  }
+  for (const auto a :
+       {Attack::None, Attack::StaticCrash, Attack::RandomOmission,
+        Attack::SendOmission, Attack::SplitBrain, Attack::GroupKiller,
+        Attack::CoinHiding, Attack::Chaos}) {
+    Attack back;
+    ASSERT_TRUE(attack_from_string(to_string(a), &back)) << to_string(a);
+    EXPECT_EQ(back, a);
+  }
+  for (const auto p :
+       {InputPattern::AllZero, InputPattern::AllOne, InputPattern::Half,
+        InputPattern::Random, InputPattern::OneDissent,
+        InputPattern::Alternating}) {
+    InputPattern back;
+    ASSERT_TRUE(inputs_from_string(to_string(p), &back)) << to_string(p);
+    EXPECT_EQ(back, p);
+  }
+  Algo a;
+  Attack at;
+  InputPattern ip;
+  EXPECT_FALSE(algo_from_string("nope", &a));
+  EXPECT_FALSE(attack_from_string("nope", &at));
+  EXPECT_FALSE(inputs_from_string("nope", &ip));
 }
 
 }  // namespace

@@ -1,0 +1,362 @@
+// The crash-safe sweep runner: verdict taxonomy, retry policy, checkpoint
+// resume (including the byte-identity guarantee after an interrupt), config
+// serialization/hashing, repro capture, and guarded_main's exit codes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "harness/sweep.h"
+#include "rng/ledger.h"
+#include "support/check.h"
+#include "support/prng.h"
+
+namespace omx::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Per-test scratch directory under the gtest temp root.
+fs::path scratch(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("omx_sweep_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A sub-millisecond trial: FloodSet at toy scale.
+ExperimentConfig tiny_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.algo = Algo::FloodSet;
+  cfg.attack = Attack::None;
+  cfg.n = 8;
+  cfg.t = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Config serialization, parsing, hashing.
+
+TEST(ConfigSerialization, RoundTripsThroughParse) {
+  ExperimentConfig cfg;
+  cfg.algo = Algo::Param;
+  cfg.attack = Attack::CoinHiding;
+  cfg.inputs = InputPattern::Alternating;
+  cfg.explicit_inputs = {1, 0, 1, 1, 0, 1, 0, 0};
+  cfg.n = 8;
+  cfg.t = 3;
+  cfg.x = 2;
+  cfg.seed = 0xDEADBEEFCAFEull;
+  cfg.random_bit_budget = 123456;
+  cfg.drop_prob = 0.37;
+  cfg.max_rounds = 99;
+  cfg.deadline_ms = 1500;
+  cfg.params = core::Params::paper();
+
+  ExperimentConfig back;
+  std::string err;
+  ASSERT_TRUE(parse_config(serialize_config(cfg), &back, &err)) << err;
+  // Canonical text equality == field equality for everything serialized.
+  EXPECT_EQ(serialize_config(back), serialize_config(cfg));
+  EXPECT_EQ(back.explicit_inputs, cfg.explicit_inputs);
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_DOUBLE_EQ(back.drop_prob, cfg.drop_prob);
+}
+
+TEST(ConfigSerialization, ParseIgnoresCommentsAndRejectsGarbage) {
+  ExperimentConfig cfg;
+  std::string err;
+  EXPECT_TRUE(parse_config("# comment\n\nn=16\nt=3\n", &cfg, &err));
+  EXPECT_EQ(cfg.n, 16u);
+  EXPECT_EQ(cfg.t, 3u);
+  EXPECT_FALSE(parse_config("no equals sign here\n", &cfg, &err));
+  EXPECT_FALSE(parse_config("unknown_key=1\n", &cfg, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ConfigHash, IgnoresWorkerLaneCountButNotSeeds) {
+  ExperimentConfig a = tiny_config(7);
+  ExperimentConfig b = a;
+  b.threads = 8;  // bit-identical engine → must not change the key
+  EXPECT_EQ(config_key(a), config_key(b));
+
+  b = a;
+  b.seed = 8;
+  EXPECT_NE(config_key(a), config_key(b));
+  EXPECT_EQ(config_key(a).size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict taxonomy through the isolation shell.
+
+TEST(SweepVerdicts, OkTrialKeepsItsResult) {
+  Sweep sweep(SweepOptions{});
+  const auto trial = sweep.run(tiny_config(1));
+  EXPECT_EQ(trial.verdict, Verdict::Ok);
+  EXPECT_TRUE(trial.ok());
+  EXPECT_TRUE(trial.error.empty());
+  EXPECT_GT(trial.result.time_rounds, 0u);
+  EXPECT_EQ(sweep.trials(), 1u);
+  EXPECT_EQ(sweep.failures(), 0u);
+}
+
+TEST(SweepVerdicts, InvalidConfigIsAPreconditionVerdictNotACrash) {
+  SweepOptions opts;
+  opts.capture_repro = false;
+  Sweep sweep(opts);
+  auto cfg = tiny_config(1);
+  cfg.t = cfg.n;  // violates t < n
+  const auto trial = sweep.run(cfg);
+  EXPECT_EQ(trial.verdict, Verdict::Precondition);
+  EXPECT_FALSE(trial.ok());
+  EXPECT_NE(trial.error.find("t < n"), std::string::npos) << trial.error;
+  // The poisoned trial's metrics are zeroed, not half-filled.
+  EXPECT_EQ(trial.result.time_rounds, 0u);
+  EXPECT_EQ(sweep.failures(), 1u);
+}
+
+TEST(SweepVerdicts, RoundCapIsItsOwnVerdict) {
+  Sweep sweep(SweepOptions{});
+  auto cfg = tiny_config(1);
+  cfg.t = 4;
+  cfg.max_rounds = 2;  // FloodSet needs t+1 > 2 rounds
+  const auto trial = sweep.run(cfg);
+  EXPECT_EQ(trial.verdict, Verdict::RoundCap);
+  EXPECT_TRUE(trial.result.hit_round_cap);
+  EXPECT_FALSE(trial.ok());
+}
+
+TEST(SweepVerdicts, StalledTrialTimesOutInsteadOfHangingTheSweep) {
+  SweepOptions opts;
+  opts.trial_deadline_ms = 1;  // far below this workload's runtime
+  Sweep sweep(opts);
+  ExperimentConfig cfg;
+  cfg.algo = Algo::FloodSet;
+  cfg.n = 512;  // ~n^2 messages per round for t+1 rounds: >> 1ms
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  const auto trial = sweep.run(cfg);
+  EXPECT_EQ(trial.verdict, Verdict::Timeout);
+  EXPECT_TRUE(trial.result.hit_deadline);
+  EXPECT_FALSE(trial.ok());
+  EXPECT_EQ(sweep.failures(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy: transient verdicts re-run with perturbed seeds.
+
+TEST(SweepRetries, TransientVerdictsRetryWithPerturbedSeeds) {
+  SweepOptions opts;
+  opts.max_attempts = 3;
+  Sweep sweep(opts);
+  auto cfg = tiny_config(1234);
+  cfg.t = 4;
+  cfg.max_rounds = 2;  // RoundCap on every attempt
+  const auto trial = sweep.run(cfg);
+  EXPECT_EQ(trial.verdict, Verdict::RoundCap);
+  EXPECT_EQ(trial.attempts, 3u);
+  // The recorded attempt's seed is the documented deterministic perturbation.
+  EXPECT_EQ(trial.seed_used, mix64(1234, 0x5EED00 + 3));
+}
+
+TEST(SweepRetries, FailureVerdictsAreNotRetried) {
+  SweepOptions opts;
+  opts.max_attempts = 5;
+  opts.capture_repro = false;
+  Sweep sweep(opts);
+  auto cfg = tiny_config(1);
+  cfg.t = cfg.n;  // Precondition: deterministic, retrying is pointless
+  const auto trial = sweep.run(cfg);
+  EXPECT_EQ(trial.verdict, Verdict::Precondition);
+  EXPECT_EQ(trial.attempts, 1u);
+  EXPECT_EQ(trial.seed_used, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing and resume.
+
+TEST(SweepCheckpoint, ResumeReplaysRecordedTrialsWithoutRerunning) {
+  const fs::path dir = scratch("resume");
+  SweepOptions opts;
+  opts.checkpoint_path = (dir / "ckpt.jsonl").string();
+
+  std::vector<TrialOutcome> first;
+  {
+    Sweep sweep(opts);
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      first.push_back(sweep.run(tiny_config(s)));
+    }
+    EXPECT_EQ(sweep.resumed(), 0u);
+  }
+  const std::string bytes_after_first = slurp(opts.checkpoint_path);
+  EXPECT_EQ(std::count(bytes_after_first.begin(), bytes_after_first.end(),
+                       '\n'),
+            3);
+
+  Sweep resumed(opts);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    const auto trial = resumed.run(tiny_config(s));
+    EXPECT_TRUE(trial.from_checkpoint);
+    EXPECT_EQ(trial.verdict, first[s - 1].verdict);
+    EXPECT_EQ(trial.result.time_rounds, first[s - 1].result.time_rounds);
+    EXPECT_EQ(trial.result.metrics.comm_bits,
+              first[s - 1].result.metrics.comm_bits);
+    EXPECT_EQ(trial.result.decision, first[s - 1].result.decision);
+  }
+  EXPECT_EQ(resumed.trials(), 3u);
+  EXPECT_EQ(resumed.resumed(), 3u);
+  // Replay must not grow or rewrite the file.
+  EXPECT_EQ(slurp(opts.checkpoint_path), bytes_after_first);
+}
+
+TEST(SweepCheckpoint, InterruptedSweepResumesToByteIdenticalResults) {
+  const fs::path dir = scratch("interrupt");
+  const int kTrials = 5;
+
+  // The uninterrupted reference run.
+  SweepOptions ref_opts;
+  ref_opts.checkpoint_path = (dir / "reference.jsonl").string();
+  {
+    Sweep sweep(ref_opts);
+    for (std::uint64_t s = 1; s <= kTrials; ++s) sweep.run(tiny_config(s));
+  }
+  const std::string reference = slurp(ref_opts.checkpoint_path);
+
+  // Simulate kill -9 after two trials: keep two complete lines plus a torn
+  // fragment of the third (what a mid-write kill leaves at worst).
+  std::string torn;
+  {
+    std::istringstream is(reference);
+    std::string line;
+    for (int i = 0; i < 2 && std::getline(is, line); ++i) {
+      torn += line;
+      torn += '\n';
+    }
+    std::getline(is, line);
+    torn += line.substr(0, line.size() / 2);  // no trailing newline
+  }
+  SweepOptions cut_opts;
+  cut_opts.checkpoint_path = (dir / "interrupted.jsonl").string();
+  {
+    std::ofstream out(cut_opts.checkpoint_path, std::ios::binary);
+    out << torn;
+  }
+
+  // Resume: the two recorded trials replay, the torn one re-runs.
+  Sweep sweep(cut_opts);
+  for (std::uint64_t s = 1; s <= kTrials; ++s) sweep.run(tiny_config(s));
+  EXPECT_EQ(sweep.resumed(), 2u);
+  EXPECT_EQ(sweep.trials(), std::uint64_t{kTrials});
+
+  // The acceptance criterion: the final result table is byte-identical to
+  // the uninterrupted run's.
+  EXPECT_EQ(slurp(cut_opts.checkpoint_path), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Repro capture.
+
+TEST(SweepRepro, ModelViolationsCaptureAReplayableConfig) {
+  const fs::path dir = scratch("repro");
+  SweepOptions opts;
+  opts.repro_dir = (dir / "repro").string();
+  Sweep sweep(opts);
+
+  auto cfg = tiny_config(77);
+  cfg.t = cfg.n + 3;  // Precondition — a model-violation verdict
+  const auto trial = sweep.run(cfg);
+  ASSERT_EQ(trial.verdict, Verdict::Precondition);
+  ASSERT_FALSE(trial.repro_path.empty());
+  EXPECT_EQ(fs::path(trial.repro_path).extension(), ".repro");
+  EXPECT_TRUE(fs::exists(trial.repro_path));
+
+  // The capture parses back to the exact offending config.
+  ExperimentConfig replayed;
+  std::string err;
+  ASSERT_TRUE(parse_config(slurp(trial.repro_path), &replayed, &err)) << err;
+  EXPECT_EQ(serialize_config(replayed), serialize_config(cfg));
+  // And replaying it reproduces the failure class.
+  EXPECT_THROW(run_experiment(replayed), PreconditionError);
+}
+
+TEST(SweepRepro, OkTrialsCaptureNothing) {
+  const fs::path dir = scratch("repro_ok");
+  SweepOptions opts;
+  opts.repro_dir = (dir / "repro").string();
+  Sweep sweep(opts);
+  const auto trial = sweep.run(tiny_config(1));
+  EXPECT_EQ(trial.verdict, Verdict::Ok);
+  EXPECT_TRUE(trial.repro_path.empty());
+  EXPECT_FALSE(fs::exists(dir / "repro"));  // not even an empty directory
+}
+
+// ---------------------------------------------------------------------------
+// Environment-driven defaults and the summary line.
+
+TEST(SweepOptionsEnv, ReadsTheDocumentedVariables) {
+  ::setenv("OMX_SWEEP_CHECKPOINT", "ck.jsonl", 1);
+  ::setenv("OMX_SWEEP_REPRO_DIR", "rdir", 1);
+  ::setenv("OMX_SWEEP_DEADLINE_MS", "2500", 1);
+  ::setenv("OMX_SWEEP_RETRIES", "2", 1);
+  ::setenv("OMX_SWEEP_NO_REPRO", "1", 1);
+  const SweepOptions o = SweepOptions::from_env();
+  ::unsetenv("OMX_SWEEP_CHECKPOINT");
+  ::unsetenv("OMX_SWEEP_REPRO_DIR");
+  ::unsetenv("OMX_SWEEP_DEADLINE_MS");
+  ::unsetenv("OMX_SWEEP_RETRIES");
+  ::unsetenv("OMX_SWEEP_NO_REPRO");
+  EXPECT_EQ(o.checkpoint_path, "ck.jsonl");
+  EXPECT_EQ(o.repro_dir, "rdir");
+  EXPECT_EQ(o.trial_deadline_ms, 2500u);
+  EXPECT_EQ(o.max_attempts, 3u);  // 1 + retries
+  EXPECT_FALSE(o.capture_repro);
+}
+
+TEST(SweepSummary, QuietWhenAllOkLoudWhenNot) {
+  Sweep quiet(SweepOptions{});
+  quiet.run(tiny_config(1));
+  std::ostringstream os;
+  quiet.print_summary(os);
+  EXPECT_TRUE(os.str().empty());
+
+  SweepOptions opts;
+  opts.capture_repro = false;
+  Sweep loud(opts);
+  loud.run(tiny_config(1));
+  auto bad = tiny_config(2);
+  bad.t = bad.n;
+  loud.run(bad);
+  os.str("");
+  loud.print_summary(os);
+  EXPECT_NE(os.str().find("1 ok"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("1 precondition"), std::string::npos) << os.str();
+}
+
+// ---------------------------------------------------------------------------
+// guarded_main: the documented failure-class exit codes.
+
+TEST(GuardedMain, MapsEachFailureClassToItsExitCode) {
+  EXPECT_EQ(guarded_main([] { return 0; }), 0);
+  EXPECT_EQ(guarded_main([] { return 7; }), 7);
+  EXPECT_EQ(guarded_main([]() -> int { throw PreconditionError("p"); }), 2);
+  EXPECT_EQ(guarded_main([]() -> int { throw InvariantError("i"); }), 3);
+  EXPECT_EQ(guarded_main([]() -> int { throw AdversaryViolation("a"); }), 4);
+  EXPECT_EQ(guarded_main([]() -> int { throw rng::BudgetExhausted("b"); }), 3);
+  EXPECT_EQ(guarded_main([]() -> int { throw std::runtime_error("r"); }), 3);
+}
+
+}  // namespace
+}  // namespace omx::harness

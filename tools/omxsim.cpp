@@ -2,17 +2,31 @@
 //
 //   omxsim --algo optimal --attack coin-hiding --n 512 --seeds 5
 //   omxsim --algo param --x 16 --n 256 --inputs alternating --csv
+//   omxsim --attack chaos --seeds 200 --checkpoint sweep.jsonl --deadline-ms 5000
+//   omxsim --repro repro/8f3a1c90aa12de44.repro
 //
 // Prints the paper's three costs (rounds / communication bits / random
 // bits), the message count, and the consensus-spec verdict, aggregated over
 // the requested seeds. With --csv, emits one machine-readable line per run.
+//
+// Trials run through harness::Sweep: a trial that throws or stalls is
+// recorded with its verdict (and a repro/<hash>.repro capture) while the
+// sweep completes the remaining seeds. With --checkpoint, finished trials
+// are persisted and a re-run resumes where the previous one was killed.
+// --repro replays a captured config *outside* the isolation shell, so the
+// original failure surfaces with its class-specific exit code:
+// precondition=2, invariant=3, adversary violation=4.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "core/params.h"
 #include "expsup/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "rng/ledger.h"
 #include "support/cli.h"
 
@@ -20,53 +34,56 @@ using namespace omx;
 
 namespace {
 
-bool parse_algo(const std::string& s, harness::Algo* out) {
-  for (auto a : {harness::Algo::Optimal, harness::Algo::Param,
-                 harness::Algo::FloodSet, harness::Algo::BenOr}) {
-    if (s == harness::to_string(a)) {
-      *out = a;
-      return true;
-    }
-  }
-  return false;
+/// Worst verdict seen → process exit code (0 already handled by caller).
+int exit_code_for(const std::map<harness::Verdict, std::uint64_t>& counts) {
+  if (counts.count(harness::Verdict::AdversaryViolation)) return 4;
+  if (counts.count(harness::Verdict::Invariant)) return 3;
+  if (counts.count(harness::Verdict::Precondition)) return 2;
+  return 1;
 }
 
-bool parse_attack(const std::string& s, harness::Attack* out) {
-  for (auto a : {harness::Attack::None, harness::Attack::StaticCrash,
-                 harness::Attack::RandomOmission, harness::Attack::SendOmission,
-                 harness::Attack::SplitBrain, harness::Attack::GroupKiller,
-                 harness::Attack::CoinHiding}) {
-    if (s == harness::to_string(a)) {
-      *out = a;
-      return true;
-    }
+int replay_repro(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open repro file %s\n", path.c_str());
+    return 2;
   }
-  return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  harness::ExperimentConfig cfg;
+  std::string err;
+  if (!harness::parse_config(text.str(), &cfg, &err)) {
+    std::fprintf(stderr, "error: bad repro file %s: %s\n", path.c_str(),
+                 err.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "replaying %s: algo=%s attack=%s n=%u t=%u seed=%llu\n",
+               path.c_str(), harness::to_string(cfg.algo),
+               harness::to_string(cfg.attack), cfg.n, cfg.t,
+               static_cast<unsigned long long>(cfg.seed));
+  // No isolation shell here, deliberately: the exception that poisoned the
+  // original trial propagates to guarded_main and reproduces the exact
+  // failure class in the exit code.
+  const auto r = harness::run_experiment(cfg);
+  std::printf("replay completed: ok=%d rounds=%llu messages=%llu "
+              "comm_bits=%llu rand_bits=%llu omitted=%llu decision=%u\n",
+              r.ok(), static_cast<unsigned long long>(r.time_rounds),
+              static_cast<unsigned long long>(r.metrics.messages),
+              static_cast<unsigned long long>(r.metrics.comm_bits),
+              static_cast<unsigned long long>(r.metrics.random_bits),
+              static_cast<unsigned long long>(r.metrics.omitted),
+              r.decision);
+  return r.ok() ? 0 : 1;
 }
 
-bool parse_inputs(const std::string& s, harness::InputPattern* out) {
-  for (auto p : {harness::InputPattern::AllZero, harness::InputPattern::AllOne,
-                 harness::InputPattern::Half, harness::InputPattern::Random,
-                 harness::InputPattern::OneDissent,
-                 harness::InputPattern::Alternating}) {
-    if (s == harness::to_string(p)) {
-      *out = p;
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   ArgParser args("omxsim",
                  "run one consensus experiment from the PODC'24 reproduction");
   args.add_option("algo", "optimal",
                   "optimal | param | floodset | benor");
   args.add_option("attack", "none",
                   "none | crash | rand-omit | send-omit | split-brain | "
-                  "group-killer | coin-hiding");
+                  "group-killer | coin-hiding | chaos");
   args.add_option("n", "128", "number of processes");
   args.add_option("t", "-1", "fault budget (-1 = max tolerated by the algo)");
   args.add_option("x", "4", "super-process count (param only)");
@@ -80,6 +97,17 @@ int main(int argc, char** argv) {
   args.add_option("threads", "1",
                   "worker lanes for the computation phase (0 = hardware); "
                   "results are bit-identical at every setting");
+  args.add_option("checkpoint", "",
+                  "JSONL checkpoint file: finished trials are persisted and "
+                  "a restarted sweep resumes after a kill");
+  args.add_option("deadline-ms", "0",
+                  "cooperative per-trial wall-clock deadline (0 = none)");
+  args.add_option("retries", "0",
+                  "extra attempts (perturbed seed) for timed-out trials");
+  args.add_option("repro-dir", "repro",
+                  "directory for crash-repro captures");
+  args.add_option("repro", "",
+                  "replay a captured .repro file exactly, then exit");
   args.add_flag("csv", "emit one CSV line per run instead of a table");
 
   if (!args.parse(argc, argv)) {
@@ -92,10 +120,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!args.get("repro").empty()) return replay_repro(args.get("repro"));
+
   harness::ExperimentConfig cfg;
-  if (!parse_algo(args.get("algo"), &cfg.algo) ||
-      !parse_attack(args.get("attack"), &cfg.attack) ||
-      !parse_inputs(args.get("inputs"), &cfg.inputs)) {
+  if (!harness::algo_from_string(args.get("algo"), &cfg.algo) ||
+      !harness::attack_from_string(args.get("attack"), &cfg.attack) ||
+      !harness::inputs_from_string(args.get("inputs"), &cfg.inputs)) {
     std::fprintf(stderr, "error: bad algo/attack/inputs value\n\n%s",
                  args.usage().c_str());
     return 2;
@@ -113,37 +143,57 @@ int main(int argc, char** argv) {
   if (budget >= 0) cfg.random_bit_budget = static_cast<std::uint64_t>(budget);
   cfg.threads = static_cast<unsigned>(args.get_int("threads"));
 
+  harness::SweepOptions sweep_opts = harness::SweepOptions::from_env();
+  if (!args.get("checkpoint").empty()) {
+    sweep_opts.checkpoint_path = args.get("checkpoint");
+  }
+  sweep_opts.repro_dir = args.get("repro-dir");
+  if (args.get_int("deadline-ms") > 0) {
+    sweep_opts.trial_deadline_ms =
+        static_cast<std::uint64_t>(args.get_int("deadline-ms"));
+  }
+  if (args.get_int("retries") > 0) {
+    sweep_opts.max_attempts =
+        1 + static_cast<std::uint32_t>(args.get_int("retries"));
+  }
+  harness::Sweep sweep(sweep_opts);
+
   const auto first_seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const auto num_seeds = static_cast<std::uint64_t>(args.get_int("seeds"));
   const bool csv = args.flag("csv");
 
   if (csv) {
     std::printf(
-        "algo,attack,n,t,seed,ok,rounds,messages,comm_bits,rand_bits,"
-        "rand_calls,omitted,corrupted,decision\n");
+        "algo,attack,n,t,seed,verdict,attempts,ok,rounds,messages,comm_bits,"
+        "rand_bits,rand_calls,omitted,corrupted,decision\n");
   }
   expsup::Table table(
       std::string("omxsim: ") + args.get("algo") + " vs " + args.get("attack"),
-      {"seed", "ok", "rounds", "messages", "comm bits", "rand bits",
-       "omitted", "decision"});
+      {"seed", "verdict", "ok", "rounds", "messages", "comm bits",
+       "rand bits", "omitted", "decision"});
   int failures = 0;
   for (std::uint64_t s = 0; s < num_seeds; ++s) {
     cfg.seed = first_seed + s;
-    const auto r = harness::run_experiment(cfg);
-    failures += !r.ok();
+    const harness::TrialOutcome trial = sweep.run(cfg);
+    const harness::ExperimentResult& r = trial.result;
+    failures += !trial.ok();
     if (csv) {
-      std::printf("%s,%s,%u,%u,%llu,%d,%llu,%llu,%llu,%llu,%llu,%llu,%u,%u\n",
-                  args.get("algo").c_str(), args.get("attack").c_str(), cfg.n,
-                  cfg.t, static_cast<unsigned long long>(cfg.seed), r.ok(),
-                  static_cast<unsigned long long>(r.time_rounds),
-                  static_cast<unsigned long long>(r.metrics.messages),
-                  static_cast<unsigned long long>(r.metrics.comm_bits),
-                  static_cast<unsigned long long>(r.metrics.random_bits),
-                  static_cast<unsigned long long>(r.metrics.random_calls),
-                  static_cast<unsigned long long>(r.metrics.omitted),
-                  r.corrupted, r.decision);
+      std::printf(
+          "%s,%s,%u,%u,%llu,%s,%u,%d,%llu,%llu,%llu,%llu,%llu,%llu,%u,%u\n",
+          args.get("algo").c_str(), args.get("attack").c_str(), cfg.n, cfg.t,
+          static_cast<unsigned long long>(cfg.seed),
+          harness::to_string(trial.verdict), trial.attempts, trial.ok(),
+          static_cast<unsigned long long>(r.time_rounds),
+          static_cast<unsigned long long>(r.metrics.messages),
+          static_cast<unsigned long long>(r.metrics.comm_bits),
+          static_cast<unsigned long long>(r.metrics.random_bits),
+          static_cast<unsigned long long>(r.metrics.random_calls),
+          static_cast<unsigned long long>(r.metrics.omitted),
+          r.corrupted, r.decision);
     } else {
-      table.add_row({expsup::Table::num(cfg.seed), r.ok() ? "yes" : "NO",
+      table.add_row({expsup::Table::num(cfg.seed),
+                     harness::to_string(trial.verdict),
+                     trial.ok() ? "yes" : "NO",
                      expsup::Table::num(r.time_rounds),
                      expsup::Table::num(r.metrics.messages),
                      expsup::Table::num(r.metrics.comm_bits),
@@ -151,7 +201,25 @@ int main(int argc, char** argv) {
                      expsup::Table::num(r.metrics.omitted),
                      expsup::Table::num(std::uint64_t{r.decision})});
     }
+    if (!trial.error.empty()) {
+      std::fprintf(stderr, "seed %llu: %s: %s\n",
+                   static_cast<unsigned long long>(cfg.seed),
+                   harness::to_string(trial.verdict), trial.error.c_str());
+      if (!trial.repro_path.empty()) {
+        std::fprintf(stderr, "seed %llu: repro captured: %s\n",
+                     static_cast<unsigned long long>(cfg.seed),
+                     trial.repro_path.c_str());
+      }
+    }
   }
   if (!csv) table.print(std::cout);
-  return failures == 0 ? 0 : 1;
+  sweep.print_summary(std::cerr);
+  if (failures == 0) return 0;
+  return exit_code_for(sweep.verdict_counts());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main([&] { return run_main(argc, argv); });
 }
