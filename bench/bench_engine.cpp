@@ -40,7 +40,7 @@ struct Sample {
 };
 
 Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
-                    unsigned threads) {
+                    unsigned threads, const std::string& trace_path = "") {
   Sample best;
   for (int rep = 0; rep < w.reps; ++rep) {
     omx::harness::ExperimentConfig cfg;
@@ -51,6 +51,7 @@ Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
     cfg.inputs = omx::harness::InputPattern::Random;
     cfg.seed = 1;
     cfg.threads = threads;
+    cfg.trace_path = trace_path;
     omx::sim::EngineStats stats;
     cfg.engine_stats = &stats;
     const auto t0 = std::chrono::steady_clock::now();
@@ -156,7 +157,37 @@ int run_bench(int argc, char** argv) {
       first = false;
     }
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ],\n";
+
+  // Trace-overhead A/B on the flood-heavy n=1024 workload: tracing off
+  // (the default hot path — must stay within noise of the pre-trace
+  // engine) vs tracing on (every send/drop/draw written through the ring;
+  // budget: within 15%). Interleaved best-of-N like everything above.
+  {
+    const Workload w = {"floodset/rand-omit/1024", omx::harness::Algo::FloodSet,
+                        omx::harness::Attack::RandomOmission, 1024, 3};
+    const char* trace_tmp = "bench_engine_overhead.trace";
+    const Sample off = run_workload(trials, w, /*threads=*/1);
+    const Sample on = run_workload(trials, w, /*threads=*/1, trace_tmp);
+    long trace_bytes = 0;
+    if (FILE* f = std::fopen(trace_tmp, "rb")) {
+      std::fseek(f, 0, SEEK_END);
+      trace_bytes = std::ftell(f);
+      std::fclose(f);
+    }
+    std::remove(trace_tmp);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"trace_overhead\": {\"name\": \"%s\", \"n\": %u, "
+                  "\"off_ms\": %.1f, \"on_ms\": %.1f, "
+                  "\"overhead_pct\": %.1f, \"trace_bytes\": %ld}\n",
+                  w.name, w.n, off.wall_ms, on.wall_ms,
+                  100.0 * (on.wall_ms - off.wall_ms) / off.wall_ms,
+                  trace_bytes);
+    json += buf;
+  }
+
+  json += "}\n";
 
   if (FILE* f = std::fopen(out_path, "w")) {
     std::fputs(json.c_str(), f);

@@ -1,13 +1,17 @@
 // Recorder — a transparent adversary decorator that captures a per-round
-// trace (message/bit/omission counts, corruption growth, per-kind tallies
-// via a caller-provided classifier) while delegating all decisions to an
-// inner adversary. Zero interference: wrapping NullAdversary gives a pure
-// wiretap of a benign execution.
+// trace (message/bit/omission counts, corruption growth) while delegating
+// all decisions to an inner adversary. Zero interference: wrapping
+// NullAdversary gives a pure wiretap of a benign execution.
+//
+// The rows are a thin aggregation view over the message plane's seal-time
+// accounting caches (AdversaryContext::wire_bits / num_dropped): reading a
+// round costs O(messages/64) for the drop popcount, not the O(messages)
+// payload rescan the pre-trace Recorder did. The identical per-round rows
+// can be reconstructed offline from an event trace with
+// trace::envelopes() / `omxtrace stats` (asserted in tests/trace_test.cpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <string>
 #include <vector>
 
 #include "sim/adversary.h"
@@ -32,12 +36,9 @@ class Recorder final : public sim::Adversary<P> {
     if (inner_ != nullptr) inner_->intervene(ctx);
     RoundTrace tr;
     tr.round = ctx.round();
-    const std::size_t mm = ctx.num_messages();
-    tr.messages = mm;
-    for (std::size_t i = 0; i < mm; ++i) {
-      tr.bits += bit_size(ctx.payload(i));
-      if (ctx.dropped(i)) ++tr.omitted;
-    }
+    tr.messages = ctx.num_messages();
+    tr.bits = ctx.wire_bits();
+    tr.omitted = ctx.num_dropped();
     tr.corrupted = ctx.num_corrupted();
     trace_.push_back(tr);
   }

@@ -16,6 +16,7 @@
 #include "sim/runner.h"
 #include "support/check.h"
 #include "support/prng.h"
+#include "trace/trace.h"
 
 namespace omx::harness {
 
@@ -190,6 +191,18 @@ std::unique_ptr<sim::Adversary<Msg>> make_adversary(
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  // The trace file is created before validation, deliberately: a trial that
+  // fails its preconditions still leaves a valid (header-only) trace, so
+  // the sweep's trace-on-repro capture works uniformly for every
+  // model-violation class.
+  std::unique_ptr<trace::TraceWriter> tracer;
+  if (!cfg.trace_path.empty()) {
+    OMX_REQUIRE(trace::kCompiledIn,
+                "trace_path set but tracing was compiled out "
+                "(OMX_DISABLE_TRACING)");
+    tracer = std::make_unique<trace::TraceWriter>(cfg.trace_path, cfg.n);
+  }
+
   // Validate the whole config eagerly so a bad trial fails here, with the
   // offending values, before any machine or ledger state is built.
   OMX_REQUIRE(cfg.n >= 1, "need at least one process (n=0)");
@@ -274,6 +287,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   opts.deadline = std::chrono::milliseconds(cfg.deadline_ms);
   opts.stats = cfg.engine_stats;
   opts.threads = cfg.threads;
+  opts.trace = tracer.get();
   sim::Runner<Msg> runner(cfg.n, cfg.t, &ledger, adversary.get(), opts);
 
   // Wire termination to the non-faulty set (the spec's termination clause).
@@ -336,6 +350,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                         : rr.metrics.rounds;
   if (opt) res.operative_end = opt->core().operative_count();
   if (par) res.operative_end = par->operative_count();
+
+  if (tracer != nullptr) {
+    // Post-run decision records, in id order; their round field is the
+    // decision round (see trace/trace.h on the stream's canonical order).
+    for (sim::ProcessId p = 0; p < cfg.n; ++p) {
+      const auto out = outcome_of(p);
+      if (!out.decided || out.decision_round < 0) continue;
+      tracer->emit(trace::Event{
+          static_cast<std::uint32_t>(out.decision_round), trace::kDecide, 0,
+          p, out.value, static_cast<std::uint64_t>(out.decision_round)});
+    }
+    tracer->close();
+  }
   return res;
 }
 

@@ -83,6 +83,11 @@ struct ExperimentConfig {
   unsigned threads = 1;
   /// Optional per-phase engine timing sink (bench_engine); nullptr = off.
   sim::EngineStats* engine_stats = nullptr;
+  /// When non-empty, write a binary event trace of the run to this path
+  /// (trace/trace.h format; analyze with `omxtrace stats|dump|diff`). The
+  /// stream is bit-identical across `threads` settings. Requires tracing to
+  /// be compiled in (the default; see OMX_DISABLE_TRACING).
+  std::string trace_path;
 };
 
 struct ExperimentResult {

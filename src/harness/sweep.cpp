@@ -12,6 +12,7 @@
 #include "rng/ledger.h"
 #include "support/check.h"
 #include "support/prng.h"
+#include "trace/trace.h"
 
 namespace omx::harness {
 
@@ -280,6 +281,7 @@ std::string serialize_config(const ExperimentConfig& cfg) {
   os << "max_rounds=" << cfg.max_rounds << "\n";
   os << "deadline_ms=" << cfg.deadline_ms << "\n";
   os << "threads=" << cfg.threads << "\n";
+  if (!cfg.trace_path.empty()) os << "trace_path=" << cfg.trace_path << "\n";
   os << "params.delta_factor=" << format_double(cfg.params.delta_factor)
      << "\n";
   os << "params.spread_factor=" << format_double(cfg.params.spread_factor)
@@ -342,6 +344,8 @@ bool parse_config(const std::string& text, ExperimentConfig* out,
       cfg.deadline_ms = to_u64(v);
     } else if (k == "threads") {
       cfg.threads = static_cast<unsigned>(to_u64(v));
+    } else if (k == "trace_path") {
+      cfg.trace_path = v;
     } else if (k == "params.delta_factor") {
       cfg.params.delta_factor = std::strtod(v.c_str(), nullptr);
     } else if (k == "params.spread_factor") {
@@ -366,9 +370,11 @@ std::uint64_t config_hash(const ExperimentConfig& cfg) {
   // The worker-lane count cannot change a trial's outcome (the engine is
   // bit-identical at every setting), so it must not change the key either:
   // a sweep resumed with a different --threads still matches its records.
+  // Same for the trace sink — observation, not behaviour.
   ExperimentConfig canon = cfg;
   canon.threads = 1;
   canon.engine_stats = nullptr;
+  canon.trace_path.clear();
   return fnv1a(serialize_config(canon));
 }
 
@@ -393,6 +399,7 @@ SweepOptions SweepOptions::from_env() {
                              std::strtoul(v, nullptr, 10));
   }
   if (std::getenv("OMX_SWEEP_NO_REPRO")) o.capture_repro = false;
+  if (std::getenv("OMX_SWEEP_NO_TRACE")) o.capture_trace = false;
   return o;
 }
 
@@ -481,7 +488,8 @@ TrialOutcome Sweep::run_isolated(const ExperimentConfig& cfg) const {
 }
 
 std::string Sweep::capture_repro(const ExperimentConfig& cfg,
-                                 const TrialOutcome& outcome) const {
+                                 const TrialOutcome& outcome,
+                                 std::string* trace_path) const {
   std::error_code ec;
   std::filesystem::create_directories(options_.repro_dir, ec);
   if (ec) {
@@ -489,8 +497,30 @@ std::string Sweep::capture_repro(const ExperimentConfig& cfg,
                  options_.repro_dir.c_str(), ec.message().c_str());
     return "";
   }
-  const std::string path =
-      options_.repro_dir + "/" + config_key(cfg) + ".repro";
+  const std::string stem = options_.repro_dir + "/" + config_key(cfg);
+  const std::string path = stem + ".repro";
+
+  // Re-run the failing trial with a trace attached: the engine is
+  // deterministic, so the capture is the event history of the recorded
+  // failure, ending exactly where the violation threw (the writer flushes
+  // through the unwind). Failures are rare; paying one extra run for a
+  // debuggable artifact is the point of capturing at all.
+  if (options_.capture_trace && trace::kCompiledIn) {
+    ExperimentConfig traced = cfg;
+    traced.trace_path = stem + ".trace";
+    const TrialOutcome replay = run_isolated(traced);
+    if (replay.verdict != outcome.verdict) {
+      std::fprintf(stderr,
+                   "sweep: trace re-run of %s reproduced verdict %s, "
+                   "original was %s — keeping the trace anyway\n",
+                   path.c_str(), to_string(replay.verdict),
+                   to_string(outcome.verdict));
+    }
+    if (std::filesystem::exists(traced.trace_path, ec)) {
+      *trace_path = traced.trace_path;
+    }
+  }
+
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   std::string first_line = outcome.error;
   if (const auto nl = first_line.find('\n'); nl != std::string::npos) {
@@ -499,6 +529,9 @@ std::string Sweep::capture_repro(const ExperimentConfig& cfg,
   out << "# replay with: omxsim --repro " << path << "\n";
   out << "# verdict: " << to_string(outcome.verdict) << "\n";
   out << "# error: " << first_line << "\n";
+  if (!trace_path->empty()) {
+    out << "# trace: " << *trace_path << " (analyze with omxtrace)\n";
+  }
   out << serialize_config(cfg);
   if (!out) {
     std::fprintf(stderr, "sweep: cannot write repro file %s\n", path.c_str());
@@ -540,7 +573,7 @@ TrialOutcome Sweep::run(ExperimentConfig cfg) {
   out.attempts = attempt;
 
   if (model_violation(out.verdict) && options_.capture_repro) {
-    out.repro_path = capture_repro(cfg, out);
+    out.repro_path = capture_repro(cfg, out, &out.trace_path);
   }
 
   std::lock_guard<std::mutex> lock(mu_);

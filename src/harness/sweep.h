@@ -72,6 +72,12 @@ struct TrialOutcome {
   std::uint64_t seed_used = 0;
   /// Path of the captured repro file (empty if none was written).
   std::string repro_path;
+  /// Path of the event trace captured alongside the repro (empty if none):
+  /// the failing trial re-run deterministically with tracing on, so the
+  /// exact event history up to the violation ships with the config. Not
+  /// persisted in the checkpoint (its line format predates tracing and
+  /// resume must stay byte-identical); a resumed outcome leaves it empty.
+  std::string trace_path;
   /// True iff this outcome was replayed from the checkpoint, not re-run.
   bool from_checkpoint = false;
 
@@ -92,11 +98,16 @@ struct SweepOptions {
   std::uint32_t max_attempts = 1;
   /// Capture .repro files for model-violation verdicts.
   bool capture_repro = true;
+  /// Alongside each .repro, re-run the failing trial deterministically with
+  /// tracing on and capture `<repro_dir>/<hash>.trace` (the hot path never
+  /// pays for tracing — only failures do). No-op when capture_repro is off
+  /// or tracing is compiled out.
+  bool capture_trace = true;
 
   /// Environment-driven defaults, so existing bench binaries gain
   /// checkpointing and watchdogs without new flags: OMX_SWEEP_CHECKPOINT,
   /// OMX_SWEEP_REPRO_DIR, OMX_SWEEP_DEADLINE_MS, OMX_SWEEP_RETRIES (extra
-  /// attempts beyond the first), OMX_SWEEP_NO_REPRO.
+  /// attempts beyond the first), OMX_SWEEP_NO_REPRO, OMX_SWEEP_NO_TRACE.
   static SweepOptions from_env();
 };
 
@@ -146,7 +157,8 @@ class Sweep {
   void record(const std::string& key, const TrialOutcome& outcome);
   TrialOutcome run_isolated(const ExperimentConfig& cfg) const;
   std::string capture_repro(const ExperimentConfig& cfg,
-                            const TrialOutcome& outcome) const;
+                            const TrialOutcome& outcome,
+                            std::string* trace_path) const;
 
   SweepOptions options_;
   mutable std::mutex mu_;

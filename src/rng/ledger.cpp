@@ -100,13 +100,21 @@ void Ledger::bill(std::uint32_t process, std::uint64_t drawn_bits) {
 
 bool Source::draw_bit() {
   ledger_->bill(process_, 1);
-  return (gen_() >> 63) != 0;
+  const bool v = (gen_() >> 63) != 0;
+  if (DrawObserver* const o = ledger_->observer_) {
+    o->on_draw(process_, 1, v ? 1 : 0);
+  }
+  return v;
 }
 
 std::uint64_t Source::draw_bits(unsigned k) {
   OMX_REQUIRE(k >= 1 && k <= 64, "draw_bits supports 1..64 bits per call");
   ledger_->bill(process_, k);
-  return gen_() >> (64 - k);
+  const std::uint64_t v = gen_() >> (64 - k);
+  if (DrawObserver* const o = ledger_->observer_) {
+    o->on_draw(process_, k, v);
+  }
+  return v;
 }
 
 bool Source::can_draw(std::uint64_t bits) const {

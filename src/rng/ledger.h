@@ -41,6 +41,19 @@ inline constexpr std::uint64_t kUnlimited =
 
 class Ledger;
 
+/// Observation hook for successful draws, used by the trace subsystem
+/// (trace::RngTap) without making rng depend on it. on_draw fires after a
+/// draw was billed, with the value actually returned (low `bits` bits).
+/// Threading contract: the engine may invoke it from worker threads during
+/// a sharded computation phase, but for any fixed process only ever from
+/// the single thread stepping that process.
+class DrawObserver {
+ public:
+  virtual ~DrawObserver() = default;
+  virtual void on_draw(std::uint32_t process, std::uint32_t bits,
+                       std::uint64_t value) = 0;
+};
+
 /// Per-process handle to the random source. One access == one "call" in the
 /// paper's accounting; a call may request any finite number of bits.
 class Source {
@@ -135,6 +148,10 @@ class Ledger {
 
   bool racked() const { return racked_; }
 
+  /// Install (or, with nullptr, remove) the draw-observation hook. Must not
+  /// change while a round's computation phase is in flight.
+  void set_draw_observer(DrawObserver* observer) { observer_ = observer; }
+
  private:
   friend class Source;
   struct Rack {
@@ -157,6 +174,26 @@ class Ledger {
   std::uint64_t bit_budget_ = kUnlimited;
   std::uint64_t call_budget_ = kUnlimited;
   bool racked_ = false;
+  DrawObserver* observer_ = nullptr;
+};
+
+/// RAII installation of a DrawObserver: removes the hook on scope exit even
+/// when the observed run dies on an engine exception. A nullptr observer
+/// (or ledger) makes the whole object a no-op.
+class ScopedDrawObserver {
+ public:
+  ScopedDrawObserver(Ledger* ledger, DrawObserver* observer)
+      : ledger_(observer != nullptr ? ledger : nullptr) {
+    if (ledger_ != nullptr) ledger_->set_draw_observer(observer);
+  }
+  ~ScopedDrawObserver() {
+    if (ledger_ != nullptr) ledger_->set_draw_observer(nullptr);
+  }
+  ScopedDrawObserver(const ScopedDrawObserver&) = delete;
+  ScopedDrawObserver& operator=(const ScopedDrawObserver&) = delete;
+
+ private:
+  Ledger* ledger_;
 };
 
 }  // namespace omx::rng

@@ -133,6 +133,20 @@ class AdversaryContext {
   /// Iterable proxy view for wiretaps and audits.
   MessageView<P> messages() const { return MessageView<P>(plane_); }
 
+  // Seal-time accounting caches (computed once per round by the plane):
+  // wiretaps like adversary::Recorder read per-round tallies from here
+  // instead of re-measuring every payload.
+
+  /// Bit size of logical message #i.
+  std::uint64_t payload_bits(std::size_t i) const {
+    return plane_->payload_bits(i);
+  }
+  /// Total bits on the wire this round (dropped messages included — the
+  /// sender spent them).
+  std::uint64_t wire_bits() const { return plane_->wire_bits(); }
+  /// Number of messages dropped so far this round.
+  std::size_t num_dropped() const { return plane_->num_dropped(); }
+
   bool is_corrupted(ProcessId p) const { return faults_->is_corrupted(p); }
   std::uint32_t num_corrupted() const { return faults_->num_corrupted(); }
   std::uint32_t remaining_budget() const { return faults_->remaining_budget(); }

@@ -36,6 +36,7 @@
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace omx::sim {
 
@@ -50,6 +51,17 @@ class DropSet {
   void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
   bool test(std::size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Number of set (dropped) indices — a word-popcount scan, so per-round
+  /// omission tallies (adversary::Recorder) cost O(messages/64), not a
+  /// payload rescan.
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) {
+      c += static_cast<std::size_t>(std::popcount(w));
+    }
+    return c;
   }
 
   /// Visit every set index in ascending order (word-at-a-time scan; used by
@@ -238,13 +250,37 @@ class MessagePlane {
     return log_.payloads_[log_.records_[i].payload];
   }
 
-  /// End the send phase: size the drop set to this round's messages and
-  /// record the sealed message count. From here until deliver(), the wire's
-  /// contents are frozen — the adversary may omit messages, never add them.
+  /// End the send phase: size the drop set to this round's messages, record
+  /// the sealed message count, and compute the bit-size cache — once per
+  /// payload *slot*, so a broadcast's size is measured once, not n times.
+  /// From here until deliver(), the wire's contents are frozen — the
+  /// adversary may omit messages, never add them — which is what makes the
+  /// cache safe to share between the adversary phase (Recorder, wiretaps),
+  /// trace emission and delivery accounting.
   void seal() {
     drops_.reset(log_.records_.size());
     sealed_ = log_.records_.size();
+    const auto& payloads = log_.payloads_;
+    payload_bits_.resize(payloads.size());
+    for (std::size_t s = 0; s < payloads.size(); ++s) {
+      payload_bits_[s] = bit_size(payloads[s]);
+    }
+    wire_bits_ = 0;
+    for (const auto& r : log_.records_) {
+      wire_bits_ += payload_bits_[r.payload];
+    }
   }
+
+  /// Bit size of logical message #i (valid after seal()).
+  std::uint64_t payload_bits(std::size_t i) const {
+    return payload_bits_[log_.records_[i].payload];
+  }
+
+  /// Total bits on the wire this round, dropped or not (valid after seal()).
+  std::uint64_t wire_bits() const { return wire_bits_; }
+
+  /// Number of messages marked dropped so far.
+  std::size_t num_dropped() const { return drops_.count(); }
 
   void mark_dropped(std::size_t i) { drops_.set(i); }
   bool dropped(std::size_t i) const { return drops_.test(i); }
@@ -260,8 +296,11 @@ class MessagePlane {
   /// Account every logical message (sent-but-omitted still costs bits: the
   /// sender spent them), then counting-sort the survivors into the inbox
   /// buffer. Stable: each inbox sees its messages in global send order,
-  /// exactly as the per-receiver push_back delivery did.
-  void deliver(Metrics& m) {
+  /// exactly as the per-receiver push_back delivery did. With a trace sink,
+  /// emits one kSend per record (and a kDrop after each omitted one) in
+  /// wire order — the canonical order shard absorption already guarantees,
+  /// so traced streams are bit-identical across thread counts.
+  void deliver(Metrics& m, trace::TraceWriter* trace = nullptr) {
     // The wire was frozen at seal(); records appearing afterwards would be
     // messages the adversary conjured into the round (an omission adversary
     // may suppress messages, never create or re-inject them).
@@ -275,10 +314,6 @@ class MessagePlane {
     }
     auto& records = log_.records_;
     auto& payloads = log_.payloads_;
-    payload_bits_.resize(payloads.size());
-    for (std::size_t s = 0; s < payloads.size(); ++s) {
-      payload_bits_[s] = bit_size(payloads[s]);
-    }
     payload_uses_.assign(payloads.size(), 0);
     counts_.assign(n_, 0);
     std::size_t delivered = 0;
@@ -286,8 +321,16 @@ class MessagePlane {
       const auto& r = records[i];
       m.messages += 1;
       m.comm_bits += payload_bits_[r.payload];
+      if (trace != nullptr) {
+        trace->emit(trace::Event{round_, trace::kSend, 0, r.from, r.to,
+                                 payload_bits_[r.payload]});
+      }
       if (drops_.test(i)) {
         m.omitted += 1;
+        if (trace != nullptr) {
+          trace->emit(trace::Event{round_, trace::kDrop, 0, r.from, r.to,
+                                   static_cast<std::uint64_t>(i)});
+        }
         continue;
       }
       ++counts_[r.to];
@@ -360,10 +403,11 @@ class MessagePlane {
   std::uint32_t round_ = 0;
   SendLog<P> log_;
   DropSet drops_;
-  std::size_t sealed_ = 0;  // wire size recorded at seal()
+  std::size_t sealed_ = 0;          // wire size recorded at seal()
+  std::uint64_t wire_bits_ = 0;     // total bits on the wire, cached at seal()
 
   // Delivery scratch + double-buffered inboxes (all capacity-persistent).
-  std::vector<std::uint64_t> payload_bits_;
+  std::vector<std::uint64_t> payload_bits_;  // per payload slot, at seal()
   std::vector<std::uint32_t> payload_uses_;
   std::vector<std::size_t> counts_;
   std::vector<std::size_t> scratch_offsets_;

@@ -51,6 +51,8 @@
 #include "sim/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
+#include "trace/rng_tap.h"
+#include "trace/trace.h"
 
 namespace omx::sim {
 
@@ -101,6 +103,11 @@ class Runner {
     /// draws more and budget-limited parallel runs start failing loudly.
     std::uint64_t rng_slack_calls = 64;
     std::uint64_t rng_slack_bits = 4096;
+    /// Event-trace sink (trace/trace.h); nullptr = tracing off. The engine
+    /// emits every round's events in the canonical order documented there,
+    /// so the stream is bit-identical across thread counts. Ignored when
+    /// tracing is compiled out (OMX_DISABLE_TRACING).
+    trace::TraceWriter* trace = nullptr;
   };
 
   Runner(std::uint32_t n, std::uint32_t fault_budget, rng::Ledger* ledger,
@@ -152,6 +159,20 @@ class Runner {
     const bool watchdog = options_.deadline.count() > 0;
     const Clock::time_point give_up_at = Clock::now() + options_.deadline;
 
+    // Tracing: rng draws are staged per process by the tap (hooked into the
+    // ledger for the duration of the run, RAII so an engine exception
+    // unhooks it) and drained in id order at the shard barrier; corruption
+    // transitions are detected by diffing the fault state against
+    // `corrupt_seen` after each intervention. All of it is skipped — and
+    // emit() compiles to nothing — when tracing is off.
+    trace::TraceWriter* const tracer =
+        trace::kCompiledIn ? options_.trace : nullptr;
+    trace::RngTap tap(tracer != nullptr ? n_ : 0);
+    const rng::ScopedDrawObserver hook(ledger_,
+                                       tracer != nullptr ? &tap : nullptr);
+    std::vector<char> corrupt_seen;
+    if (tracer != nullptr) corrupt_seen.assign(n_, 0);
+
     std::uint32_t round = 0;
     while (!machine.finished()) {
       if (round >= options_.max_rounds) {
@@ -164,6 +185,9 @@ class Runner {
       }
       ledger_->begin_round_window();
       machine.begin_round(round);
+      if (tracer != nullptr) {
+        tracer->emit(trace::Event{round, trace::kRoundBegin, 0, 0, 0, 0});
+      }
 
       // Phase 1: local computation (+ queuing of sends). Sharded when the
       // runner has lanes and the ledger proves budget checks cannot depend
@@ -208,6 +232,7 @@ class Runner {
         }
       }
       plane.seal();
+      if (tracer != nullptr) tap.drain(round, *tracer);
       if (stats) {
         stats->compute_ns += static_cast<std::uint64_t>(
             std::chrono::nanoseconds(Clock::now() - t0).count());
@@ -222,6 +247,17 @@ class Runner {
       AdversaryContext<P> ctx(round, &plane, &faults_);
       adversary_->intervene(ctx);
       audit_intervention(plane, round);
+      if (tracer != nullptr) {
+        // Processes newly corrupted by this intervention, in id order (the
+        // canonical trace order; the live corruption order is not recorded).
+        for (ProcessId p = 0; p < n_; ++p) {
+          if (faults_.is_corrupted(p) && !corrupt_seen[p]) {
+            corrupt_seen[p] = 1;
+            tracer->emit(trace::Event{round, trace::kCorrupt, 0, p,
+                                      faults_.num_corrupted(), 0});
+          }
+        }
+      }
       if (stats) {
         stats->adversary_ns += static_cast<std::uint64_t>(
             std::chrono::nanoseconds(Clock::now() - t0).count());
@@ -230,7 +266,7 @@ class Runner {
 
       // Phase 3: delivery + accounting. Sent-but-omitted messages still
       // count toward communication (the sender spent the bits).
-      plane.deliver(m);
+      plane.deliver(m, tracer);
       if (stats) {
         stats->delivery_ns += static_cast<std::uint64_t>(
             std::chrono::nanoseconds(Clock::now() - t0).count());
@@ -243,6 +279,12 @@ class Runner {
     m.random_calls = ledger_->calls() - base_calls;
     m.random_bits = ledger_->bits() - base_bits;
     m.corrupted = faults_.num_corrupted();
+    if (tracer != nullptr) {
+      const std::uint32_t reason =
+          result.hit_deadline ? 2u : (result.hit_round_cap ? 1u : 0u);
+      tracer->emit(
+          trace::Event{round, trace::kFinish, 0, reason, 0, m.rounds});
+    }
     return result;
   }
 

@@ -1,0 +1,79 @@
+// Trace analysis: per-round envelopes, whole-run totals, determinism diff,
+// and the JSONL / Chrome-tracing exporters behind the omxtrace CLI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/reader.h"
+
+namespace omx::trace {
+
+/// Human-readable names for the on-disk encodings.
+const char* kind_name(std::uint16_t kind);
+const char* finish_reason_name(std::uint32_t reason);
+
+/// One line of format_event: "round 12: send 3 -> 17 (128 bits)".
+std::string format_event(const Event& e);
+
+/// Per-round aggregate reconstructed from the event stream — the same rows
+/// adversary::Recorder captures live, plus the randomness columns, so
+/// `omxtrace stats` reproduces a Recorder wiretap from a file after the
+/// fact (asserted against Recorder in tests/trace_test.cpp).
+struct RoundEnvelope {
+  std::uint32_t round = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t omitted = 0;
+  std::uint64_t rng_calls = 0;
+  std::uint64_t rng_bits = 0;
+  std::uint32_t corrupted = 0;  // cumulative, at end of the round
+};
+
+/// Whole-run sums — definitionally the reconstruction of sim::Metrics from
+/// the event stream (the cross-check tests pin the two against each other).
+struct TraceTotals {
+  std::uint64_t rounds = 0;        // kRoundBegin count
+  std::uint64_t messages = 0;      // kSend count
+  std::uint64_t comm_bits = 0;     // sum of kSend payloads
+  std::uint64_t omitted = 0;       // kDrop count
+  std::uint64_t random_calls = 0;  // kRngDraw count
+  std::uint64_t random_bits = 0;   // sum of kRngDraw dst fields
+  std::uint32_t corrupted = 0;     // kCorrupt count
+  std::uint32_t decided = 0;       // kDecide count
+  bool finished = false;           // saw the kFinish marker
+  std::uint32_t finish_reason = 0;
+};
+
+std::vector<RoundEnvelope> envelopes(std::span<const Event> events);
+TraceTotals totals(std::span<const Event> events);
+
+/// Where two traces first disagree (the determinism debugger's verdict).
+struct Divergence {
+  bool diverged = false;
+  /// First event index at which the streams differ; when length_only, the
+  /// length of the shorter stream.
+  std::size_t index = 0;
+  /// Headers disagree (different n or format version).
+  bool header_mismatch = false;
+  /// The common prefix matches; one stream simply has more events.
+  bool length_only = false;
+};
+
+Divergence first_divergence(const TraceData& a, const TraceData& b);
+
+/// `omxtrace stats`: per-round envelope table + totals.
+void print_stats(const TraceData& t, std::ostream& os);
+
+/// `omxtrace dump`: one JSON object per event, one per line.
+void dump_jsonl(const TraceData& t, std::ostream& os);
+
+/// `omxtrace dump --chrome`: a chrome://tracing / Perfetto-loadable JSON
+/// array (counter tracks per round; instant events for corruptions,
+/// decisions and the finish marker; ts = round number in "microseconds").
+void dump_chrome(const TraceData& t, std::ostream& os);
+
+}  // namespace omx::trace

@@ -1,0 +1,69 @@
+#include "trace/reader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "support/check.h"
+
+namespace omx::trace {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+TraceData read_trace(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "rb"));
+  OMX_REQUIRE(file != nullptr, "trace: cannot open " + path);
+
+  TraceData data;
+  OMX_REQUIRE(std::fread(&data.header, sizeof data.header, 1, file.get()) == 1,
+              "trace: " + path + " is too short to hold a trace header");
+  OMX_REQUIRE(
+      std::memcmp(data.header.magic, kMagic, sizeof kMagic) == 0,
+      "trace: " + path + " is not a trace file (bad magic)");
+  OMX_REQUIRE(data.header.version == kFormatVersion,
+              "trace: " + path + " has format version " +
+                  std::to_string(data.header.version) + ", expected " +
+                  std::to_string(kFormatVersion) +
+                  " (or the file was written on a different-endian machine)");
+
+  // A tail that is not a whole record means the writer was killed without
+  // unwinding (the destructor flushes even on engine exceptions) — refuse
+  // to present half a record as data. Checked by size up front: fread
+  // consumes a partial trailing item while reporting 0 items read, so it
+  // cannot be detected after the fact.
+  OMX_REQUIRE(std::fseek(file.get(), 0, SEEK_END) == 0,
+              "trace: cannot seek in " + path);
+  const long end = std::ftell(file.get());
+  OMX_REQUIRE(end >= 0, "trace: cannot tell file size of " + path);
+  const std::size_t body = static_cast<std::size_t>(end) - sizeof data.header;
+  OMX_REQUIRE(body % sizeof(Event) == 0,
+              "trace: " + path + " has a truncated trailing record");
+  OMX_REQUIRE(std::fseek(file.get(), sizeof data.header, SEEK_SET) == 0,
+              "trace: cannot seek in " + path);
+
+  std::vector<Event> chunk(4096);
+  for (;;) {
+    const std::size_t got =
+        std::fread(chunk.data(), sizeof(Event), chunk.size(), file.get());
+    data.events.insert(data.events.end(), chunk.begin(),
+                       chunk.begin() + static_cast<std::ptrdiff_t>(got));
+    if (got < chunk.size()) break;
+  }
+  OMX_CHECK(data.events.size() == body / sizeof(Event),
+            "trace: short read from " + path);
+  for (std::size_t i = 0; i < data.events.size(); ++i) {
+    const Event& e = data.events[i];
+    OMX_REQUIRE(e.kind >= 1 && e.kind <= kMaxKind,
+                "trace: " + path + ": record " + std::to_string(i) +
+                    " has unknown kind " + std::to_string(e.kind));
+  }
+  return data;
+}
+
+}  // namespace omx::trace

@@ -1,0 +1,22 @@
+// Trace-file loading: the read side of trace/trace.h's binary format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace omx::trace {
+
+/// A fully loaded trace: validated header + flat event stream.
+struct TraceData {
+  FileHeader header{};
+  std::vector<Event> events;
+};
+
+/// Load `path`, validating magic, format version, record alignment and
+/// event kinds. Throws PreconditionError on a missing, foreign, truncated
+/// or corrupt file — analysis code can assume a loaded trace is well-formed.
+TraceData read_trace(const std::string& path);
+
+}  // namespace omx::trace

@@ -1,0 +1,47 @@
+// RngTap — the bridge between the randomness ledger's draw-observation hook
+// and the trace. Draws happen inside the engine's computation phase, which
+// may be sharded across worker threads; appending them to the trace as they
+// happen would interleave nondeterministically. Instead the tap stages each
+// draw in a per-process list (each process is stepped by exactly one
+// worker, so the lists are race-free) and the engine drains them in
+// ascending process id at the shard barrier — the same order a serial round
+// produces, so the trace stays bit-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/ledger.h"
+#include "trace/trace.h"
+
+namespace omx::trace {
+
+class RngTap final : public rng::DrawObserver {
+ public:
+  explicit RngTap(std::uint32_t n) : draws_(n) {}
+
+  void on_draw(std::uint32_t process, std::uint32_t bits,
+               std::uint64_t value) override {
+    draws_[process].push_back(Draw{bits, value});
+  }
+
+  /// Emit all staged draws as kRngDraw events for `round`, in ascending
+  /// process id (within a process, in draw order), and clear the stage.
+  void drain(std::uint32_t round, TraceWriter& out) {
+    for (std::uint32_t p = 0; p < draws_.size(); ++p) {
+      for (const Draw& d : draws_[p]) {
+        out.emit(Event{round, kRngDraw, 0, p, d.bits, d.value});
+      }
+      draws_[p].clear();
+    }
+  }
+
+ private:
+  struct Draw {
+    std::uint32_t bits;
+    std::uint64_t value;
+  };
+  std::vector<std::vector<Draw>> draws_;
+};
+
+}  // namespace omx::trace

@@ -1,0 +1,52 @@
+#include "trace/trace.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace omx::trace {
+
+TraceWriter::TraceWriter(std::string path, std::uint32_t n)
+    : path_(std::move(path)) {
+  if constexpr (!kCompiledIn) return;
+  file_ = std::fopen(path_.c_str(), "wb");
+  OMX_REQUIRE(file_ != nullptr, "trace: cannot open " + path_ + " for writing");
+  ring_.resize(kRingEvents);
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.version = kFormatVersion;
+  header.n = n;
+  header.reserved = 0;
+  const std::size_t wrote = std::fwrite(&header, sizeof header, 1, file_);
+  OMX_CHECK(wrote == 1, "trace: short header write to " + path_);
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Closing during the unwind of an engine exception: keep whatever the
+    // earlier flushes persisted, never replace the real failure.
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+}
+
+void TraceWriter::close() {
+  if (file_ == nullptr) return;
+  flush_ring();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  OMX_CHECK(rc == 0, "trace: cannot close " + path_);
+}
+
+void TraceWriter::flush_ring() {
+  if (used_ == 0) return;
+  const std::size_t wrote = std::fwrite(ring_.data(), sizeof(Event), used_, file_);
+  OMX_CHECK(wrote == used_, "trace: short write to " + path_);
+  used_ = 0;
+}
+
+}  // namespace omx::trace

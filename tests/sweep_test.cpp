@@ -312,17 +312,20 @@ TEST(SweepOptionsEnv, ReadsTheDocumentedVariables) {
   ::setenv("OMX_SWEEP_DEADLINE_MS", "2500", 1);
   ::setenv("OMX_SWEEP_RETRIES", "2", 1);
   ::setenv("OMX_SWEEP_NO_REPRO", "1", 1);
+  ::setenv("OMX_SWEEP_NO_TRACE", "1", 1);
   const SweepOptions o = SweepOptions::from_env();
   ::unsetenv("OMX_SWEEP_CHECKPOINT");
   ::unsetenv("OMX_SWEEP_REPRO_DIR");
   ::unsetenv("OMX_SWEEP_DEADLINE_MS");
   ::unsetenv("OMX_SWEEP_RETRIES");
   ::unsetenv("OMX_SWEEP_NO_REPRO");
+  ::unsetenv("OMX_SWEEP_NO_TRACE");
   EXPECT_EQ(o.checkpoint_path, "ck.jsonl");
   EXPECT_EQ(o.repro_dir, "rdir");
   EXPECT_EQ(o.trial_deadline_ms, 2500u);
   EXPECT_EQ(o.max_attempts, 3u);  // 1 + retries
   EXPECT_FALSE(o.capture_repro);
+  EXPECT_FALSE(o.capture_trace);
 }
 
 TEST(SweepSummary, QuietWhenAllOkLoudWhenNot) {

@@ -4,6 +4,7 @@
 //   omxsim --algo param --x 16 --n 256 --inputs alternating --csv
 //   omxsim --attack chaos --seeds 200 --checkpoint sweep.jsonl --deadline-ms 5000
 //   omxsim --repro repro/8f3a1c90aa12de44.repro
+//   omxsim --algo optimal --attack coin-hiding --n 96 --trace run.trace
 //
 // Prints the paper's three costs (rounds / communication bits / random
 // bits), the message count, and the consensus-spec verdict, aggregated over
@@ -16,6 +17,9 @@
 // --repro replays a captured config *outside* the isolation shell, so the
 // original failure surfaces with its class-specific exit code:
 // precondition=2, invariant=3, adversary violation=4.
+//
+// --trace writes a binary event trace per run (`omxtrace stats|dump|diff`
+// analyzes it); combined with --repro it re-traces the captured failure.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -42,7 +46,7 @@ int exit_code_for(const std::map<harness::Verdict, std::uint64_t>& counts) {
   return 1;
 }
 
-int replay_repro(const std::string& path) {
+int replay_repro(const std::string& path, const std::string& trace_path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "error: cannot open repro file %s\n", path.c_str());
@@ -57,6 +61,7 @@ int replay_repro(const std::string& path) {
                  err.c_str());
     return 2;
   }
+  if (!trace_path.empty()) cfg.trace_path = trace_path;
   std::fprintf(stderr, "replaying %s: algo=%s attack=%s n=%u t=%u seed=%llu\n",
                path.c_str(), harness::to_string(cfg.algo),
                harness::to_string(cfg.attack), cfg.n, cfg.t,
@@ -108,6 +113,9 @@ int run_main(int argc, char** argv) {
                   "directory for crash-repro captures");
   args.add_option("repro", "",
                   "replay a captured .repro file exactly, then exit");
+  args.add_option("trace", "",
+                  "write a binary event trace to this path (suffixed "
+                  ".<seed> when --seeds > 1); analyze with omxtrace");
   args.add_flag("csv", "emit one CSV line per run instead of a table");
 
   if (!args.parse(argc, argv)) {
@@ -120,7 +128,9 @@ int run_main(int argc, char** argv) {
     return 0;
   }
 
-  if (!args.get("repro").empty()) return replay_repro(args.get("repro"));
+  if (!args.get("repro").empty()) {
+    return replay_repro(args.get("repro"), args.get("trace"));
+  }
 
   harness::ExperimentConfig cfg;
   if (!harness::algo_from_string(args.get("algo"), &cfg.algo) ||
@@ -171,9 +181,15 @@ int run_main(int argc, char** argv) {
       std::string("omxsim: ") + args.get("algo") + " vs " + args.get("attack"),
       {"seed", "verdict", "ok", "rounds", "messages", "comm bits",
        "rand bits", "omitted", "decision"});
+  const std::string trace_stem = args.get("trace");
   int failures = 0;
   for (std::uint64_t s = 0; s < num_seeds; ++s) {
     cfg.seed = first_seed + s;
+    if (!trace_stem.empty()) {
+      cfg.trace_path = num_seeds > 1
+                           ? trace_stem + "." + std::to_string(cfg.seed)
+                           : trace_stem;
+    }
     const harness::TrialOutcome trial = sweep.run(cfg);
     const harness::ExperimentResult& r = trial.result;
     failures += !trial.ok();
@@ -209,6 +225,11 @@ int run_main(int argc, char** argv) {
         std::fprintf(stderr, "seed %llu: repro captured: %s\n",
                      static_cast<unsigned long long>(cfg.seed),
                      trial.repro_path.c_str());
+      }
+      if (!trial.trace_path.empty()) {
+        std::fprintf(stderr, "seed %llu: trace captured: %s\n",
+                     static_cast<unsigned long long>(cfg.seed),
+                     trial.trace_path.c_str());
       }
     }
   }
