@@ -4,16 +4,26 @@
 // computation phase. Writes BENCH_engine.json next to the working
 // directory (see EXPERIMENTS.md for how the numbers are regenerated).
 //
+//   bench_engine [out.json] [--threads 1,2,4,8]
+//
+// The thread sweep defaults to {1,2,4,8} filtered to the lanes this host
+// actually has; an explicit --threads list that exceeds
+// ThreadPool::hardware_threads() is an error (exit 1), not a silently
+// oversubscribed measurement. The resolved hardware_threads value is
+// stamped into the JSON so recorded numbers carry their provenance.
+//
 // The workloads are chosen to stress the delivery substrate, not the
 // protocols: FloodSet is all-to-all with Θ(n)-sized payloads (the
 // worst-case wire volume per round), Optimal is tens of millions of small
-// messages (record-throughput bound). The thread sweep runs the same
-// workloads at 1/2/4/8 worker lanes — results are bit-identical by
-// construction (asserted in tests/determinism_matrix_test.cpp); only the
-// wall time may move, and only on multi-core hardware.
+// messages (record-throughput bound). Each flood workload also runs with
+// the packed views (core/packed_view.h) — bit-identical metrics, and the
+// compute phase collapses from per-pair branching to word-wide OR — and
+// the packed_speedup section records that ratio.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +41,8 @@ struct Workload {
   omx::harness::Attack attack;
   std::uint32_t n;
   int reps;
+  bool packed = false;
+  bool streamed = false;
 };
 
 struct Sample {
@@ -51,6 +63,8 @@ Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
     cfg.inputs = omx::harness::InputPattern::Random;
     cfg.seed = 1;
     cfg.threads = threads;
+    cfg.packed = w.packed;
+    cfg.streamed = w.streamed;
     cfg.trace_path = trace_path;
     omx::sim::EngineStats stats;
     cfg.engine_stats = &stats;
@@ -59,7 +73,7 @@ Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
-    std::printf("  %-28s x%u rep %d: %9.1f ms  (compute %6.0f | adversary "
+    std::printf("  %-36s x%u rep %d: %9.1f ms  (compute %6.0f | adversary "
                 "%6.0f | delivery %6.0f)\n",
                 w.name, threads, rep, ms, stats.compute_ns / 1e6,
                 stats.adversary_ns / 1e6, stats.delivery_ns / 1e6);
@@ -76,8 +90,67 @@ Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
 }  // namespace
 
 int run_bench(int argc, char** argv) {
+  const unsigned hw = omx::support::ThreadPool::hardware_threads();
+
+  // CLI: an optional output path plus an optional explicit thread list.
+  const char* out_path = "BENCH_engine.json";
+  std::vector<unsigned> sweep_threads;
+  bool explicit_threads = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads needs a comma-separated "
+                             "list, e.g. --threads 1,2,4\n");
+        return 1;
+      }
+      explicit_threads = true;
+      const std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0' || v == 0) {
+          std::fprintf(stderr, "error: bad --threads entry '%s'\n",
+                       tok.c_str());
+          return 1;
+        }
+        sweep_threads.push_back(static_cast<unsigned>(v));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (explicit_threads) {
+    // An oversubscribed sweep measures scheduler thrash, not engine
+    // scaling — refuse loudly rather than record a misleading number.
+    for (const unsigned v : sweep_threads) {
+      if (v > hw) {
+        std::fprintf(stderr,
+                     "error: --threads %u exceeds this host's %u hardware "
+                     "thread%s; refusing to record an oversubscribed "
+                     "measurement\n",
+                     v, hw, hw == 1 ? "" : "s");
+        return 1;
+      }
+    }
+  } else {
+    for (const unsigned v : {1u, 2u, 4u, 8u}) {
+      if (v <= hw) {
+        sweep_threads.push_back(v);
+      } else {
+        std::printf("note: skipping %u-lane sweep point (host has %u "
+                    "hardware thread%s)\n",
+                    v, hw, hw == 1 ? "" : "s");
+      }
+    }
+  }
+
   omx::harness::Sweep trials;
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
   const std::vector<Workload> workloads = {
       {"floodset/none/256", omx::harness::Algo::FloodSet,
        omx::harness::Attack::None, 256, 3},
@@ -87,6 +160,16 @@ int run_bench(int argc, char** argv) {
        omx::harness::Attack::None, 1024, 3},
       {"floodset/rand-omit/1024", omx::harness::Algo::FloodSet,
        omx::harness::Attack::RandomOmission, 1024, 3},
+      {"floodset/none/1024/packed", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 1024, 3, /*packed=*/true},
+      {"floodset/rand-omit/1024/packed", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::RandomOmission, 1024, 3, /*packed=*/true},
+      {"floodset/none/1024/packed-streamed", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 1024, 3, /*packed=*/true,
+       /*streamed=*/true},
+      {"floodset/none/4096/packed-streamed", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 4096, 2, /*packed=*/true,
+       /*streamed=*/true},
       {"optimal/none/1024", omx::harness::Algo::Optimal,
        omx::harness::Attack::None, 1024, 2},
   };
@@ -98,11 +181,12 @@ int run_bench(int argc, char** argv) {
       "{\n  \"seed_engine_reference_ms\": {\"floodset/none/1024\": 5337.7, "
       "\"floodset/rand-omit/1024\": 5593.0, \"optimal/none/1024\": 3359.2},\n"
       "  \"hardware_threads\": " +
-      std::to_string(omx::support::ThreadPool::hardware_threads()) +
-      ",\n  \"workloads\": [\n";
+      std::to_string(hw) + ",\n  \"workloads\": [\n";
+  std::map<std::string, Sample> by_name;
   bool first = true;
   for (const auto& w : workloads) {
     const Sample s = run_workload(trials, w, /*threads=*/1);
+    by_name[w.name] = s;
     char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
@@ -119,12 +203,38 @@ int run_bench(int argc, char** argv) {
     json += buf;
     first = false;
   }
+  json += "\n  ],\n  \"packed_speedup\": [\n";
+
+  // Legacy-vs-packed ratios on the flood-heavy workloads (same metrics by
+  // construction — tests/packed_equivalence_test.cpp pins it — so the
+  // ratio isolates the representation change).
+  first = true;
+  const std::vector<std::pair<const char*, const char*>> speedup_pairs = {
+      {"floodset/none/1024", "floodset/none/1024/packed"},
+      {"floodset/rand-omit/1024", "floodset/rand-omit/1024/packed"},
+      {"floodset/none/1024", "floodset/none/1024/packed-streamed"}};
+  for (const auto& pair : speedup_pairs) {
+    const Sample& legacy = by_name[pair.first];
+    const Sample& packed = by_name[pair.second];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s    {\"legacy\": \"%s\", \"packed\": \"%s\", "
+        "\"compute_speedup\": %.2f, \"wall_speedup\": %.2f}",
+        first ? "" : ",\n", pair.first, pair.second,
+        static_cast<double>(legacy.stats.compute_ns) /
+            static_cast<double>(
+                packed.stats.compute_ns ? packed.stats.compute_ns : 1),
+        legacy.wall_ms / (packed.wall_ms > 0 ? packed.wall_ms : 1));
+    json += buf;
+    first = false;
+  }
   json += "\n  ],\n  \"thread_sweep\": [\n";
 
-  // Thread-scaling sweep: the sharded computation phase at 1/2/4/8 lanes.
-  // stage/merge split the parallel compute phase; parallel_rounds counts
-  // rounds that actually took the sharded path (all of them, for unlimited
-  // rng budgets).
+  // Thread-scaling sweep: the sharded computation phase across the chosen
+  // lane counts. stage/merge split the parallel compute phase;
+  // parallel_rounds counts rounds that actually took the sharded path (all
+  // of them, for unlimited rng budgets).
   const std::vector<Workload> sweep = {
       {"floodset/none/256", omx::harness::Algo::FloodSet,
        omx::harness::Attack::None, 256, 3},
@@ -137,7 +247,7 @@ int run_bench(int argc, char** argv) {
   };
   first = true;
   for (const auto& w : sweep) {
-    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    for (const unsigned threads : sweep_threads) {
       const Sample s = run_workload(trials, w, threads);
       char buf[1024];
       std::snprintf(

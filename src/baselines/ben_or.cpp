@@ -11,7 +11,8 @@ BenOrMachine::BenOrMachine(BenOrConfig config,
                            std::vector<std::uint8_t> inputs)
     : cfg_(config),
       n_(static_cast<std::uint32_t>(inputs.size())),
-      fallback_(static_cast<std::uint32_t>(inputs.size()), config.t) {
+      fallback_(static_cast<std::uint32_t>(inputs.size()), config.t,
+                config.packed) {
   OMX_REQUIRE(n_ >= 1, "need at least one process");
   st_.resize(n_);
   for (std::uint32_t p = 0; p < n_; ++p) {
@@ -55,16 +56,19 @@ void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
     // Fallback regime: decision gossip still short-circuits.
     auto& scratch = scratch_[io.lane()];
     scratch.clear();
-    for (const auto& msg : io.inbox()) {
-      if (const auto* gm = std::get_if<core::GossipMsg>(&msg.payload)) {
+    bool gossip_decided = false;
+    io.for_each_in([&](sim::ProcessId from, const core::Msg& payload) {
+      if (gossip_decided) return;
+      if (const auto* gm = std::get_if<core::GossipMsg>(&payload)) {
         if (gm->value >= 0 && !s.terminated) {
           decide(p, static_cast<std::uint8_t>(gm->value));
-          return;
+          gossip_decided = true;
         }
       } else {
-        scratch.push_back(core::In{msg.from, &msg.payload});
+        scratch.push_back(core::In{from, &payload});
       }
-    }
+    });
+    if (gossip_decided) return;
     core::IoOutbox out(io);
     fallback_.step(p, r - fallback_start_, scratch, out);
     if (fallback_.has_decision(p)) decide(p, fallback_.decision(p));
@@ -75,15 +79,14 @@ void BenOrMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
   if (r >= 1) {
     std::uint64_t ones = 0, zeros = 0;
     std::int8_t gossip = -1;
-    for (const auto& msg : io.inbox()) {
-      if (const auto* dm = std::get_if<core::DecisionMsg>(&msg.payload)) {
+    io.for_each_in([&](sim::ProcessId, const core::Msg& payload) {
+      if (const auto* dm = std::get_if<core::DecisionMsg>(&payload)) {
         if (dm->value == 1) ++ones;
         else ++zeros;
-      } else if (const auto* gm =
-                     std::get_if<core::GossipMsg>(&msg.payload)) {
+      } else if (const auto* gm = std::get_if<core::GossipMsg>(&payload)) {
         if (gm->value >= 0 && gossip < 0) gossip = gm->value;
       }
-    }
+    });
     if (gossip >= 0 && !s.decided) {
       s.b = static_cast<std::uint8_t>(gossip);
       s.decided = true;  // adopt + relay below

@@ -5,9 +5,10 @@
 namespace omx::baselines {
 
 FloodSetMachine::FloodSetMachine(std::uint32_t t,
-                                 std::vector<std::uint8_t> inputs)
+                                 std::vector<std::uint8_t> inputs,
+                                 bool packed)
     : n_(static_cast<std::uint32_t>(inputs.size())),
-      fallback_(static_cast<std::uint32_t>(inputs.size()), t) {
+      fallback_(static_cast<std::uint32_t>(inputs.size()), t, packed) {
   OMX_REQUIRE(n_ >= 1, "need at least one process");
   st_.resize(n_);
   for (std::uint32_t p = 0; p < n_; ++p) {
@@ -24,13 +25,14 @@ void FloodSetMachine::begin_round(std::uint32_t round) {
 void FloodSetMachine::round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) {
   auto& s = st_[p];
   if (s.terminated) return;
-  auto& scratch = scratch_[io.lane()];
-  scratch.clear();
-  for (const auto& msg : io.inbox()) {
-    scratch.push_back(core::In{msg.from, &msg.payload});
+  if (!fallback_.inbox_is_noop(p, cur_round_)) {
+    // Merge straight out of the wire walk — FloodSet never needs the
+    // sender id or a materialized inbox, and the extra collect-then-walk
+    // pass is measurable at large n.
+    fallback_.consume_stream(p, io);
   }
   core::IoOutbox out(io);
-  fallback_.step(p, cur_round_, scratch, out);
+  fallback_.step(p, cur_round_, {}, out);
   if (fallback_.has_decision(p)) {
     s.terminated = true;
     s.decision = fallback_.decision(p);

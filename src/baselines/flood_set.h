@@ -20,14 +20,18 @@ namespace omx::baselines {
 
 class FloodSetMachine final : public sim::Machine<core::Msg> {
  public:
-  FloodSetMachine(std::uint32_t t, std::vector<std::uint8_t> inputs);
+  /// `packed` selects the word-packed fallback representation
+  /// (core/packed_view.h) — bit-identical decisions/Metrics/traces, much
+  /// faster compute phase, and for_each_in-based consumption so the run
+  /// also works under streamed delivery.
+  FloodSetMachine(std::uint32_t t, std::vector<std::uint8_t> inputs,
+                  bool packed = false);
 
   void set_fault_view(const sim::FaultState* faults) { faults_ = faults; }
   std::uint32_t scheduled_rounds() const { return fallback_.total_rounds(); }
   core::MemberOutcome outcome(sim::ProcessId p) const;
 
   std::uint32_t num_processes() const override { return n_; }
-  void set_lanes(unsigned lanes) override { scratch_.resize(lanes); }
   void begin_round(std::uint32_t round) override;
   void round(sim::ProcessId p, sim::RoundIo<core::Msg>& io) override;
   bool finished() const override;
@@ -47,7 +51,6 @@ class FloodSetMachine final : public sim::Machine<core::Msg> {
   // Incremented from concurrently stepped processes; the final per-round
   // value is order-independent, so relaxed increments keep determinism.
   std::atomic<std::uint32_t> terminated_count_{0};
-  std::vector<std::vector<core::In>> scratch_{1};  // one buffer per lane
   const sim::FaultState* faults_ = nullptr;
 };
 

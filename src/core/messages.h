@@ -12,8 +12,10 @@
 #include <variant>
 #include <vector>
 
+#include "core/packed_view.h"
 #include "support/bits.h"
 #include "support/cow_vec.h"
+#include "support/run_set.h"
 
 namespace omx::core {
 
@@ -96,6 +98,30 @@ struct FloodMsg {
   }
 };
 
+/// Packed flood-set wire form: the same logical pair set as a FloodMsg,
+/// carried as two word-packed masks behind one shared allocation. bit_size
+/// is cached at construction and equals the legacy billing for the same id
+/// set (1 + sum of field_bits(id) + 1), so packed runs are bit-identical
+/// to legacy runs in Metrics and trace bytes.
+struct PackedFloodMsg {
+  std::shared_ptr<const PackedFlood> view;
+  std::uint64_t bit_size() const { return view == nullptr ? 1 : view->bits; }
+};
+
+/// Run-length-coded gossip delta: ids { (x + rot) mod n : x in *delta }
+/// with their input bits implied by the receiver's global input lookup —
+/// the packed analogue of a doubling-gossip FloodMsg reply. bit_size and
+/// the logical pair count are cached at construction (shifted_pair_bits),
+/// matching the legacy reply billing pair-for-pair. An empty delta is the
+/// 1-bit sign-of-life heartbeat, exactly like an empty FloodMsg.
+struct RunMsg {
+  support::RunSetPtr delta;
+  std::uint32_t rot = 0;
+  std::uint32_t pairs = 0;
+  std::uint64_t bits = 1;
+  std::uint64_t bit_size() const { return bits; }
+};
+
 /// Multi-valued consensus: a candidate value announcement.
 struct ValueMsg {
   std::uint32_t value;
@@ -117,7 +143,7 @@ struct GossipMsg {
 
 using Msg = std::variant<RelayPush, RelayAck, RelayShare, SpreadMsg,
                          DecisionMsg, FloodMsg, GossipMsg, InquireMsg,
-                         ValueMsg>;
+                         ValueMsg, PackedFloodMsg, RunMsg>;
 
 std::uint64_t bit_size(const Msg& m);
 

@@ -218,6 +218,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
               "explicit_inputs must have exactly n entries (" +
                   std::to_string(cfg.explicit_inputs.size()) +
                   " given, n=" + std::to_string(cfg.n) + ")");
+  const bool flood_path =
+      cfg.algo == Algo::FloodSet || cfg.algo == Algo::BenOr;
+  OMX_REQUIRE(!cfg.packed || flood_path,
+              "packed views are implemented for floodset/benor only");
+  OMX_REQUIRE(!cfg.streamed || flood_path,
+              "streamed delivery needs a for_each_in() machine "
+              "(floodset/benor)");
   auto inputs = cfg.explicit_inputs.empty()
                     ? make_inputs(cfg.inputs, cfg.n, cfg.seed)
                     : cfg.explicit_inputs;
@@ -261,7 +268,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       break;
     }
     case Algo::FloodSet: {
-      auto m = std::make_unique<baselines::FloodSetMachine>(cfg.t, inputs);
+      auto m = std::make_unique<baselines::FloodSetMachine>(cfg.t, inputs,
+                                                            cfg.packed);
       flood = m.get();
       schedule_hint = m->scheduled_rounds();
       machine = std::move(m);
@@ -270,6 +278,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     case Algo::BenOr: {
       baselines::BenOrConfig mc;
       mc.t = cfg.t;
+      mc.packed = cfg.packed;
       auto m = std::make_unique<baselines::BenOrMachine>(mc, inputs);
       benor = m.get();
       probe = m.get();
@@ -288,6 +297,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   opts.stats = cfg.engine_stats;
   opts.threads = cfg.threads;
   opts.trace = tracer.get();
+  if (cfg.streamed) {
+    opts.delivery = sim::Runner<Msg>::Options::Delivery::kStreamed;
+  }
   sim::Runner<Msg> runner(cfg.n, cfg.t, &ledger, adversary.get(), opts);
 
   // Wire termination to the non-faulty set (the spec's termination clause).

@@ -281,6 +281,8 @@ std::string serialize_config(const ExperimentConfig& cfg) {
   os << "max_rounds=" << cfg.max_rounds << "\n";
   os << "deadline_ms=" << cfg.deadline_ms << "\n";
   os << "threads=" << cfg.threads << "\n";
+  if (cfg.packed) os << "packed=1\n";
+  if (cfg.streamed) os << "streamed=1\n";
   if (!cfg.trace_path.empty()) os << "trace_path=" << cfg.trace_path << "\n";
   os << "params.delta_factor=" << format_double(cfg.params.delta_factor)
      << "\n";
@@ -344,6 +346,10 @@ bool parse_config(const std::string& text, ExperimentConfig* out,
       cfg.deadline_ms = to_u64(v);
     } else if (k == "threads") {
       cfg.threads = static_cast<unsigned>(to_u64(v));
+    } else if (k == "packed") {
+      cfg.packed = v == "1" || v == "true";
+    } else if (k == "streamed") {
+      cfg.streamed = v == "1" || v == "true";
     } else if (k == "trace_path") {
       cfg.trace_path = v;
     } else if (k == "params.delta_factor") {

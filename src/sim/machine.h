@@ -30,15 +30,20 @@ namespace omx::sim {
 template <class P>
 class RoundIo {
  public:
+  /// `stream` is non-null only under streamed delivery (Runner
+  /// Options::delivery): the inbox span is then empty and messages are
+  /// iterated straight off the sealed wire via for_each_in().
   RoundIo(std::uint32_t round, ProcessId self,
           std::span<const Message<P>> inbox, SendLog<P>* log,
-          rng::Source* rng, unsigned lane = 0)
+          rng::Source* rng, unsigned lane = 0,
+          const MessagePlane<P>* stream = nullptr)
       : round_(round),
         self_(self),
         inbox_(inbox),
         log_(log),
         rng_(rng),
-        lane_(lane) {}
+        lane_(lane),
+        stream_(stream) {}
 
   std::uint32_t round() const { return round_; }
   ProcessId self() const { return self_; }
@@ -49,7 +54,28 @@ class RoundIo {
   unsigned lane() const { return lane_; }
 
   /// Messages delivered to this process at the end of the previous round.
-  std::span<const Message<P>> inbox() const { return inbox_; }
+  /// Unavailable under streamed delivery — machines that support streamed
+  /// runs must consume via for_each_in() instead.
+  std::span<const Message<P>> inbox() const {
+    OMX_CHECK(stream_ == nullptr,
+              "inbox() called under streamed delivery — this machine must "
+              "consume messages via for_each_in(), or the run must use "
+              "materialized delivery");
+    return inbox_;
+  }
+
+  /// Visit every message delivered to this process at the end of the
+  /// previous round, in global send order: fn(ProcessId from, const P&).
+  /// Works identically under materialized and streamed delivery — the one
+  /// consumption API a machine needs to support both modes.
+  template <class Fn>
+  void for_each_in(Fn&& fn) const {
+    if (stream_ != nullptr) {
+      stream_->stream_inbox(self_, std::forward<Fn>(fn));
+    } else {
+      for (const Message<P>& msg : inbox_) fn(msg.from, msg.payload);
+    }
+  }
 
   /// Queue a message for the communication phase of this round.
   void send(ProcessId to, P payload) {
@@ -85,6 +111,7 @@ class RoundIo {
   SendLog<P>* log_;
   rng::Source* rng_;
   unsigned lane_;
+  const MessagePlane<P>* stream_;
 };
 
 /// A synchronous protocol over payload P, covering processes 0..n-1.

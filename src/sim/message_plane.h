@@ -1,30 +1,52 @@
 // Flat-buffer message plane: the engine's zero-allocation delivery substrate.
 //
-// The send side is factored into SendLog — a flat (records, payload arena)
-// pair that both the plane itself (serial compute phase) and the engine's
-// per-worker staging outboxes (sharded compute phase) use. Per round the
-// plane stores:
+// The send side is factored into SendLog — a flat (fanout groups, payload
+// arena) pair that both the plane itself (serial compute phase) and the
+// engine's per-worker staging outboxes (sharded compute phase) use. Per
+// round the plane stores:
 //   * a payload arena — each *distinct* payload value is stored exactly
 //     once, so a broadcast of one value to n-1 receivers costs one payload
-//     slot plus n-1 twelve-byte fan-out records;
-//   * a record list — one POD entry per *logical* point-to-point message
-//     (from, to, payload slot). The adversary and the metrics always observe
-//     logical messages: a multicast is indistinguishable, in ordering and in
-//     bit/message/omission accounting, from the equivalent unicast loop;
-//   * a word-packed drop set (`drops_`) marking adversary omissions.
+//     slot, period;
+//   * a group list — one POD entry per send *call* (unicast, broadcast, or
+//     multicast), carrying the logical-index base of its fan-out. The
+//     adversary and the metrics always observe *logical* point-to-point
+//     messages: group g expands to fanout(g) consecutive logical indices
+//     [base, base + fanout), in exactly the receiver order the equivalent
+//     unicast loop would have produced — so a broadcast to n-1 receivers
+//     costs O(1) staging instead of the n-1 twelve-byte records the
+//     previous plane wrote, and a CSR-restricted multicast costs O(degree)
+//     (its receiver list is copied once into a shared CSR-style arena);
+//   * a word-packed drop set (`drops_`) marking adversary omissions by
+//     logical index.
 //
 // Sharded rounds produce one private SendLog per worker; absorb() merges
-// them in shard (== ascending process id) order, remapping payload slots,
-// so the plane's record sequence is byte-identical to a serial round.
+// them in shard (== ascending process id) order, rebasing group bases and
+// payload slots, so the plane's logical message sequence is byte-identical
+// to a serial round.
 //
-// Delivery is a stable counting sort of the surviving records into one
-// contiguous buffer plus a per-receiver offset table, so every inbox is a
-// `std::span<const Message<P>>` and payload bit sizes are computed once per
-// payload slot instead of once per logical message. All buffers have
-// round-persistent capacity: after warm-up, a round allocates only whatever
-// the payloads themselves allocate internally.
+// Two delivery modes:
+//   * deliver() — materialized (default): a stable counting sort of the
+//     surviving logical messages into one contiguous buffer plus a
+//     per-receiver offset table; every inbox is a
+//     std::span<const Message<P>>. Per-message accounting and trace
+//     emission walk the groups in logical-index order, reproducing the
+//     legacy per-record stream bit-for-bit.
+//   * deliver_streamed() — nothing is materialized: accounting is done per
+//     group (fanout × cached payload bits) plus one popcount scan of the
+//     drop set, and the sealed wire is swapped into a front buffer that
+//     receivers iterate next round via stream_inbox() / RoundIo::
+//     for_each_in(). A receiver's cost is O(groups + its multicast
+//     entries), so an n-broadcast round costs O(n) per receiver *total* —
+//     no n² inbox buffer ever exists, which is what makes full-information
+//     protocols at n = 65536 fit in memory. Streamed delivery produces the
+//     same Metrics as materialized delivery; it does not support tracing
+//     or inbox() spans (the engine enforces both).
+//
+// All buffers have round-persistent capacity: after warm-up, a round
+// allocates only whatever the payloads themselves allocate internally.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <span>
@@ -86,7 +108,7 @@ class DropSet {
 template <class P>
 class MessagePlane;
 
-/// One round's send-side log: fan-out records over a payload arena. The
+/// One round's send-side log: fan-out groups over a payload arena. The
 /// plane owns one (the wire); each engine worker owns another (its staging
 /// outbox) whose contents are absorbed into the wire at the shard barrier.
 /// Capacity persists across clear(), so steady-state rounds do not allocate.
@@ -96,10 +118,24 @@ class SendLog {
   /// Sentinel for multicast: no process is skipped.
   static constexpr ProcessId kNobody = UINT32_MAX;
 
-  struct Record {
+  /// Fan-out shape of one send call.
+  enum class Kind : std::uint8_t {
+    kUnicast,        // one receiver (field a)
+    kBroadcast,      // every process except the sender, ascending id
+    kBroadcastSelf,  // every process including the sender, ascending id
+    kList,           // receivers_[a, a + b), in list order
+  };
+
+  /// One send call. Logical messages [base, base + fanout) expand in the
+  /// receiver order documented on Kind; `base` is the group's offset in the
+  /// round's logical-index space (rebased on absorb).
+  struct Group {
+    std::uint64_t base;
     ProcessId from;
-    ProcessId to;
     std::uint32_t payload;  // slot in the payload arena
+    std::uint32_t a;        // receiver (kUnicast) or arena offset (kList)
+    std::uint32_t b;        // list length (kList)
+    Kind kind;
   };
 
   explicit SendLog(std::uint32_t n = 0) : n_(n) {}
@@ -112,17 +148,26 @@ class SendLog {
 
   /// Drop this round's contents; capacity persists.
   void clear() {
-    records_.clear();
+    groups_.clear();
+    receivers_.clear();
     payloads_.clear();
+    total_ = 0;
   }
 
   std::uint32_t num_processes() const { return n_; }
-  std::size_t num_records() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  /// Number of *logical* point-to-point messages queued.
+  std::size_t num_records() const { return static_cast<std::size_t>(total_); }
+  std::size_t num_groups() const { return groups_.size(); }
+  bool empty() const { return total_ == 0; }
 
   /// Stamp the round this log is collecting for (failure-message context).
   void set_round(std::uint32_t round) { round_ = round; }
   std::uint32_t round() const { return round_; }
+
+  /// Pre-size the receiver arena (e.g. to the edge count of a CSR
+  /// communication graph) so graph-restricted multicast rounds reach
+  /// steady-state without reallocation.
+  void reserve_receivers(std::size_t edges) { receivers_.reserve(edges); }
 
   void send(ProcessId from, ProcessId to, P payload) {
     OMX_CHECK(to < n_, "round " + std::to_string(round_) + ": process " +
@@ -131,7 +176,8 @@ class SendLog {
                            std::to_string(to) + ", outside the n=" +
                            std::to_string(n_) + " system");
     const std::uint32_t slot = stash(std::move(payload));
-    records_.push_back(Record{from, to, slot});
+    groups_.push_back(Group{total_, from, slot, to, 0, Kind::kUnicast});
+    total_ += 1;
   }
 
   /// One payload, fanned out to every process in id order (optionally
@@ -139,17 +185,24 @@ class SendLog {
   /// identical to the equivalent unicast loop.
   void broadcast(ProcessId from, P payload, bool include_self) {
     const std::uint32_t slot = stash(std::move(payload));
-    for (ProcessId q = 0; q < n_; ++q) {
-      if (q == from && !include_self) continue;
-      records_.push_back(Record{from, q, slot});
-    }
+    const std::uint32_t fan = include_self ? n_ : n_ - 1;
+    if (fan == 0) return;
+    groups_.push_back(Group{total_, from, slot, 0, 0,
+                            include_self ? Kind::kBroadcastSelf
+                                         : Kind::kBroadcast});
+    total_ += fan;
   }
 
   /// One payload, fanned out to the listed receivers in list order
-  /// (`skip` is omitted where it appears; pass kNobody to keep all).
+  /// (`skip` is omitted where it appears; pass kNobody to keep all). The
+  /// filtered list is copied once into the CSR-style receiver arena.
   void multicast(ProcessId from, std::span<const ProcessId> to, P payload,
                  ProcessId skip = kNobody) {
     const std::uint32_t slot = stash(std::move(payload));
+    const auto offset = static_cast<std::uint64_t>(receivers_.size());
+    OMX_CHECK(offset + to.size() <= UINT32_MAX,
+              "multicast receiver arena exceeded 2^32 entries in one round");
+    std::uint32_t len = 0;
     for (ProcessId q : to) {
       if (q == skip) continue;
       OMX_CHECK(q < n_, "round " + std::to_string(round_) + ": process " +
@@ -157,8 +210,41 @@ class SendLog {
                             " multicast to process " + std::to_string(q) +
                             ", outside the n=" + std::to_string(n_) +
                             " system");
-      records_.push_back(Record{from, q, slot});
+      receivers_.push_back(q);
+      ++len;
     }
+    if (len == 0) return;  // nothing on the wire (matches the unicast loop)
+    groups_.push_back(Group{total_, from,  slot,
+                            static_cast<std::uint32_t>(offset), len,
+                            Kind::kList});
+    total_ += len;
+  }
+
+  /// Receivers a group expands to.
+  std::uint32_t fanout(const Group& g) const {
+    switch (g.kind) {
+      case Kind::kUnicast: return 1;
+      case Kind::kBroadcast: return n_ - 1;
+      case Kind::kBroadcastSelf: return n_;
+      case Kind::kList: return g.b;
+    }
+    return 0;
+  }
+
+  /// Receiver of the rank-th logical message of group g (rank < fanout).
+  ProcessId receiver(const Group& g, std::uint64_t rank) const {
+    switch (g.kind) {
+      case Kind::kUnicast:
+        return g.a;
+      case Kind::kBroadcast:
+        return rank < g.from ? static_cast<ProcessId>(rank)
+                             : static_cast<ProcessId>(rank + 1);
+      case Kind::kBroadcastSelf:
+        return static_cast<ProcessId>(rank);
+      case Kind::kList:
+        return receivers_[g.a + rank];
+    }
+    return 0;
   }
 
  private:
@@ -171,7 +257,9 @@ class SendLog {
 
   std::uint32_t n_;
   std::uint32_t round_ = 0;
-  std::vector<Record> records_;
+  std::uint64_t total_ = 0;  // logical messages queued so far
+  std::vector<Group> groups_;
+  std::vector<ProcessId> receivers_;  // kList fan-out lists, CSR-style
   std::vector<P> payloads_;
 };
 
@@ -182,18 +270,20 @@ class MessagePlane {
   static constexpr ProcessId kNobody = SendLog<P>::kNobody;
 
   explicit MessagePlane(std::uint32_t n)
-      : n_(n), log_(n), inbox_offsets_(n + 1, 0) {}
+      : n_(n), log_(n), front_log_(n), inbox_offsets_(n + 1, 0) {}
 
   std::uint32_t num_processes() const { return n_; }
 
   /// Start a round's send phase. Clears the wire arena (capacity persists);
-  /// the previous round's delivered inboxes stay readable. The round number
-  /// stamps failure messages and guards against wrong-round injection.
+  /// the previous round's delivered inboxes (or streamed front buffer) stay
+  /// readable. The round number stamps failure messages and guards against
+  /// wrong-round injection.
   void begin_round(std::uint32_t round = 0) {
     round_ = round;
     log_.clear();
     log_.set_round(round);
     sealed_ = 0;
+    hint_ = 0;
   }
 
   /// Round currently on the wire (as stamped by begin_round).
@@ -217,63 +307,82 @@ class MessagePlane {
     log_.multicast(from, to, std::move(payload), skip);
   }
 
-  /// Append a worker's staged log to the wire, remapping payload slots, and
-  /// clear the staged log (its capacity persists for the next round).
-  /// Absorbing shard logs in ascending shard order reproduces the exact
-  /// record/payload sequence of a serial round: each shard steps its
-  /// processes in ascending id order, so concatenation *is* id order.
+  /// Append a worker's staged log to the wire — rebasing group bases,
+  /// payload slots and receiver-arena offsets — and clear the staged log
+  /// (its capacity persists for the next round). Absorbing shard logs in
+  /// ascending shard order reproduces the exact group/payload sequence of
+  /// a serial round: each shard steps its processes in ascending id order,
+  /// so concatenation *is* id order.
   void absorb(SendLog<P>& staged) {
     OMX_CHECK(staged.n_ == n_,
               "round " + std::to_string(round_) +
                   ": staged log targets a different system (staged n=" +
                   std::to_string(staged.n_) + ", wire n=" +
                   std::to_string(n_) + ")");
-    const auto offset = static_cast<std::uint32_t>(log_.payloads_.size());
-    log_.records_.reserve(log_.records_.size() + staged.records_.size());
-    for (const typename SendLog<P>::Record& r : staged.records_) {
-      log_.records_.push_back(
-          typename SendLog<P>::Record{r.from, r.to, r.payload + offset});
+    const auto payload_off =
+        static_cast<std::uint32_t>(log_.payloads_.size());
+    const auto arena_off =
+        static_cast<std::uint32_t>(log_.receivers_.size());
+    const std::uint64_t base_off = log_.total_;
+    log_.groups_.reserve(log_.groups_.size() + staged.groups_.size());
+    for (const typename SendLog<P>::Group& g : staged.groups_) {
+      auto moved = g;
+      moved.base += base_off;
+      moved.payload += payload_off;
+      if (g.kind == SendLog<P>::Kind::kList) moved.a += arena_off;
+      log_.groups_.push_back(moved);
     }
+    log_.receivers_.insert(log_.receivers_.end(), staged.receivers_.begin(),
+                           staged.receivers_.end());
     log_.payloads_.reserve(log_.payloads_.size() + staged.payloads_.size());
     for (P& payload : staged.payloads_) {
       log_.payloads_.push_back(std::move(payload));
     }
+    log_.total_ += staged.total_;
     staged.clear();
   }
 
   // --- indexed logical-message view (adversary phase) ---
 
-  std::size_t num_messages() const { return log_.records_.size(); }
-  ProcessId from(std::size_t i) const { return log_.records_[i].from; }
-  ProcessId to(std::size_t i) const { return log_.records_[i].to; }
+  std::size_t num_messages() const {
+    return static_cast<std::size_t>(log_.total_);
+  }
+  ProcessId from(std::size_t i) const {
+    return log_.groups_[locate(i)].from;
+  }
+  ProcessId to(std::size_t i) const {
+    const auto& g = log_.groups_[locate(i)];
+    return log_.receiver(g, i - g.base);
+  }
   const P& payload(std::size_t i) const {
-    return log_.payloads_[log_.records_[i].payload];
+    return log_.payloads_[log_.groups_[locate(i)].payload];
   }
 
   /// End the send phase: size the drop set to this round's messages, record
   /// the sealed message count, and compute the bit-size cache — once per
   /// payload *slot*, so a broadcast's size is measured once, not n times.
-  /// From here until deliver(), the wire's contents are frozen — the
+  /// From here until delivery, the wire's contents are frozen — the
   /// adversary may omit messages, never add them — which is what makes the
   /// cache safe to share between the adversary phase (Recorder, wiretaps),
   /// trace emission and delivery accounting.
   void seal() {
-    drops_.reset(log_.records_.size());
-    sealed_ = log_.records_.size();
+    drops_.reset(static_cast<std::size_t>(log_.total_));
+    sealed_ = static_cast<std::size_t>(log_.total_);
     const auto& payloads = log_.payloads_;
     payload_bits_.resize(payloads.size());
     for (std::size_t s = 0; s < payloads.size(); ++s) {
       payload_bits_[s] = bit_size(payloads[s]);
     }
     wire_bits_ = 0;
-    for (const auto& r : log_.records_) {
-      wire_bits_ += payload_bits_[r.payload];
+    for (const auto& g : log_.groups_) {
+      wire_bits_ += static_cast<std::uint64_t>(log_.fanout(g)) *
+                    payload_bits_[g.payload];
     }
   }
 
   /// Bit size of logical message #i (valid after seal()).
   std::uint64_t payload_bits(std::size_t i) const {
-    return payload_bits_[log_.records_[i].payload];
+    return payload_bits_[log_.groups_[locate(i)].payload];
   }
 
   /// Total bits on the wire this round, dropped or not (valid after seal()).
@@ -293,49 +402,44 @@ class MessagePlane {
 
   // --- delivery (communication phase) ---
 
-  /// Account every logical message (sent-but-omitted still costs bits: the
-  /// sender spent them), then counting-sort the survivors into the inbox
-  /// buffer. Stable: each inbox sees its messages in global send order,
-  /// exactly as the per-receiver push_back delivery did. With a trace sink,
-  /// emits one kSend per record (and a kDrop after each omitted one) in
-  /// wire order — the canonical order shard absorption already guarantees,
-  /// so traced streams are bit-identical across thread counts.
+  /// Materialized delivery. Account every logical message (sent-but-omitted
+  /// still costs bits: the sender spent them), then counting-sort the
+  /// survivors into the inbox buffer. Stable: each inbox sees its messages
+  /// in global send order, exactly as the per-receiver push_back delivery
+  /// did. With a trace sink, emits one kSend per logical message (and a
+  /// kDrop after each omitted one) in wire order — the canonical order
+  /// shard absorption already guarantees, so traced streams are
+  /// bit-identical across thread counts.
   void deliver(Metrics& m, trace::TraceWriter* trace = nullptr) {
-    // The wire was frozen at seal(); records appearing afterwards would be
-    // messages the adversary conjured into the round (an omission adversary
-    // may suppress messages, never create or re-inject them).
-    if (log_.records_.size() != sealed_) {
-      throw AdversaryViolation(
-          "round " + std::to_string(round_) + ": " +
-          std::to_string(log_.records_.size() - sealed_) +
-          " message(s) appeared on the wire after the computation phase was "
-          "sealed — an omission adversary cannot inject or re-route "
-          "messages");
-    }
-    auto& records = log_.records_;
+    check_sealed();
+    auto& groups = log_.groups_;
     auto& payloads = log_.payloads_;
     payload_uses_.assign(payloads.size(), 0);
     counts_.assign(n_, 0);
     std::size_t delivered = 0;
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      const auto& r = records[i];
-      m.messages += 1;
-      m.comm_bits += payload_bits_[r.payload];
-      if (trace != nullptr) {
-        trace->emit(trace::Event{round_, trace::kSend, 0, r.from, r.to,
-                                 payload_bits_[r.payload]});
-      }
-      if (drops_.test(i)) {
-        m.omitted += 1;
+    for (const auto& g : groups) {
+      const std::uint32_t fan = log_.fanout(g);
+      const std::uint64_t bits = payload_bits_[g.payload];
+      for (std::uint32_t r = 0; r < fan; ++r) {
+        const std::uint64_t i = g.base + r;
+        const ProcessId to = log_.receiver(g, r);
+        m.messages += 1;
+        m.comm_bits += bits;
         if (trace != nullptr) {
-          trace->emit(trace::Event{round_, trace::kDrop, 0, r.from, r.to,
-                                   static_cast<std::uint64_t>(i)});
+          trace->emit(trace::Event{round_, trace::kSend, 0, g.from, to,
+                                   bits});
         }
-        continue;
+        if (drops_.test(static_cast<std::size_t>(i))) {
+          m.omitted += 1;
+          if (trace != nullptr) {
+            trace->emit(trace::Event{round_, trace::kDrop, 0, g.from, to, i});
+          }
+          continue;
+        }
+        ++counts_[to];
+        ++payload_uses_[g.payload];
+        ++delivered;
       }
-      ++counts_[r.to];
-      ++payload_uses_[r.payload];
-      ++delivered;
     }
 
     scratch_offsets_.resize(n_ + 1);
@@ -350,40 +454,21 @@ class MessagePlane {
     // overwritten by assignment, not reconstructed, so a payload holding a
     // heap buffer (e.g. a vector) reuses last round's capacity in place.
     // The last surviving use of a payload moves it; earlier fan-out uses
-    // copy (a multicast payload is shared by several receivers).
-    if constexpr (std::is_default_constructible_v<P>) {
-      staging_.resize(delivered);
-      for (std::size_t i = 0; i < records.size(); ++i) {
-        if (drops_.test(i)) continue;
-        const auto& r = records[i];
-        Message<P>& dst = staging_[counts_[r.to]++];
-        dst.from = r.from;
-        dst.to = r.to;
-        if (--payload_uses_[r.payload] == 0) {
-          dst.payload = std::move(payloads[r.payload]);
+    // copy (a broadcast payload is shared by several receivers).
+    staging_.resize(delivered);
+    for (const auto& g : groups) {
+      const std::uint32_t fan = log_.fanout(g);
+      for (std::uint32_t r = 0; r < fan; ++r) {
+        const std::uint64_t i = g.base + r;
+        if (drops_.test(static_cast<std::size_t>(i))) continue;
+        const ProcessId to = log_.receiver(g, r);
+        Message<P>& dst = staging_[counts_[to]++];
+        dst.from = g.from;
+        dst.to = to;
+        if (--payload_uses_[g.payload] == 0) {
+          dst.payload = std::move(payloads[g.payload]);
         } else {
-          dst.payload = payloads[r.payload];
-        }
-      }
-    } else {
-      order_.resize(delivered);
-      for (std::size_t i = 0; i < records.size(); ++i) {
-        if (drops_.test(i)) continue;
-        order_[counts_[records[i].to]++] = static_cast<std::uint32_t>(i);
-      }
-      staging_.clear();
-      staging_.reserve(delivered);
-      for (const std::uint32_t idx : order_) {
-        const auto& r = records[idx];
-        if (--payload_uses_[r.payload] == 0) {
-          staging_.push_back(
-              Message<P>{r.from, r.to, std::move(payloads[r.payload])});
-        } else {
-          if constexpr (std::is_copy_constructible_v<P>) {
-            staging_.push_back(Message<P>{r.from, r.to, payloads[r.payload]});
-          } else {
-            OMX_CHECK(false, "multicast payload type must be copyable");
-          }
+          dst.payload = payloads[g.payload];
         }
       }
     }
@@ -391,27 +476,196 @@ class MessagePlane {
     inbox_offsets_.swap(scratch_offsets_);
   }
 
+  /// Streamed delivery: aggregate accounting (identical Metrics totals to
+  /// deliver()), no inbox materialization. The sealed wire is swapped into
+  /// the front buffer that stream_inbox() iterates next round; per-receiver
+  /// multicast entries are indexed once (counting sort over kList groups)
+  /// so a receiver's walk cost is O(groups + its own multicast entries).
+  /// Tracing is not supported in this mode (the engine routes traced runs
+  /// through deliver()).
+  void deliver_streamed(Metrics& m) {
+    check_sealed();
+    streamed_mode_ = true;
+    for (const auto& g : log_.groups_) {
+      const auto fan = static_cast<std::uint64_t>(log_.fanout(g));
+      m.messages += fan;
+      m.comm_bits += fan * payload_bits_[g.payload];
+    }
+    const std::size_t dropped = drops_.count();
+    m.omitted += dropped;
+
+    // Per-receiver index of kList logical messages, ascending by logical
+    // index within each receiver (counting sort in group order).
+    listed_counts_.assign(n_ + 1, 0);
+    for (const auto& g : log_.groups_) {
+      if (g.kind != SendLog<P>::Kind::kList) continue;
+      for (std::uint32_t r = 0; r < g.b; ++r) {
+        ++listed_counts_[log_.receivers_[g.a + r] + 1];
+      }
+    }
+    listed_offsets_.resize(n_ + 1);
+    listed_offsets_[0] = 0;
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      listed_offsets_[p + 1] = listed_offsets_[p] + listed_counts_[p + 1];
+      listed_counts_[p] = listed_offsets_[p];  // reuse as scatter cursors
+    }
+    listed_.resize(listed_offsets_[n_]);
+    std::uint32_t gi = 0;
+    for (const auto& g : log_.groups_) {
+      if (g.kind == SendLog<P>::Kind::kList) {
+        for (std::uint32_t r = 0; r < g.b; ++r) {
+          const ProcessId to = log_.receivers_[g.a + r];
+          listed_[listed_counts_[to]++] = ListedEntry{g.base + r, gi};
+        }
+      }
+      ++gi;
+    }
+
+    std::swap(log_, front_log_);
+    std::swap(drops_, front_drops_);
+    // In a fault-free round the per-message drop test is pure overhead —
+    // and an expensive one: the indices a receiver probes are spread over
+    // an n^2-bit set (33 MB at n=16384), so every test is a cache miss.
+    // One flag turns all of them into a register compare.
+    front_drops_any_ = dropped != 0;
+    std::swap(payload_bits_, front_payload_bits_);
+    listed_.swap(front_listed_);
+    listed_offsets_.swap(front_listed_offsets_);
+    front_valid_ = true;
+  }
+
   /// Messages delivered to p by the most recent deliver() call.
   std::span<const Message<P>> inbox(ProcessId p) const {
+    OMX_CHECK(!streamed_mode_,
+              "inbox() is unavailable after streamed delivery — this "
+              "machine requires materialized delivery "
+              "(Runner Options::delivery)");
     return std::span<const Message<P>>(
         inbox_store_.data() + inbox_offsets_[p],
         inbox_offsets_[p + 1] - inbox_offsets_[p]);
   }
 
+  /// Visit every message delivered to p by the most recent
+  /// deliver_streamed() call, in global send order: fn(from, payload).
+  /// Broadcast/unicast membership is O(1) per group; kList entries come
+  /// from the per-receiver index, merged by logical index.
+  template <class Fn>
+  void stream_inbox(ProcessId p, Fn&& fn) const {
+    if (!front_valid_) return;  // round 0: nothing delivered yet
+    const auto& gs = front_log_.groups_;
+    std::size_t k = front_listed_offsets_.empty() ? 0
+                                                  : front_listed_offsets_[p];
+    const std::size_t k_end =
+        front_listed_offsets_.empty() ? 0 : front_listed_offsets_[p + 1];
+    for (const auto& g : gs) {
+      while (k < k_end && front_listed_[k].idx < g.base) {
+        emit_listed(front_listed_[k], fn);
+        ++k;
+      }
+      std::uint64_t idx;
+      switch (g.kind) {
+        case SendLog<P>::Kind::kUnicast:
+          if (g.a != p) continue;
+          idx = g.base;
+          break;
+        case SendLog<P>::Kind::kBroadcast:
+          if (p == g.from) continue;
+          idx = g.base + (p < g.from ? p : p - 1u);
+          break;
+        case SendLog<P>::Kind::kBroadcastSelf:
+          idx = g.base + p;
+          break;
+        case SendLog<P>::Kind::kList:
+          continue;  // covered by the per-receiver index
+      }
+      if (!front_drops_any_ ||
+          !front_drops_.test(static_cast<std::size_t>(idx))) {
+        fn(g.from, front_log_.payloads_[g.payload]);
+      }
+    }
+    while (k < k_end) {
+      emit_listed(front_listed_[k], fn);
+      ++k;
+    }
+  }
+
  private:
+  struct ListedEntry {
+    std::uint64_t idx;   // logical index (drop lookup + ordering)
+    std::uint32_t group;
+  };
+
+  void check_sealed() const {
+    // The wire was frozen at seal(); messages appearing afterwards would be
+    // messages the adversary conjured into the round (an omission adversary
+    // may suppress messages, never create or re-inject them).
+    if (static_cast<std::size_t>(log_.total_) != sealed_) {
+      throw AdversaryViolation(
+          "round " + std::to_string(round_) + ": " +
+          std::to_string(static_cast<std::size_t>(log_.total_) - sealed_) +
+          " message(s) appeared on the wire after the computation phase was "
+          "sealed — an omission adversary cannot inject or re-route "
+          "messages");
+    }
+  }
+
+  template <class Fn>
+  void emit_listed(const ListedEntry& e, Fn& fn) const {
+    if (front_drops_any_ &&
+        front_drops_.test(static_cast<std::size_t>(e.idx))) {
+      return;
+    }
+    const auto& g = front_log_.groups_[e.group];
+    fn(g.from, front_log_.payloads_[g.payload]);
+  }
+
+  /// Group covering logical index i. Adversaries and the audit scan
+  /// indices mostly in ascending order, so a cursor makes the common case
+  /// O(1); random access falls back to binary search over group bases.
+  std::size_t locate(std::size_t i) const {
+    const auto& gs = log_.groups_;
+    const auto covers = [&](std::size_t g) {
+      return i >= gs[g].base && i - gs[g].base < log_.fanout(gs[g]);
+    };
+    if (hint_ < gs.size() && covers(hint_)) return hint_;
+    if (hint_ + 1 < gs.size() && covers(hint_ + 1)) return ++hint_;
+    auto it = std::upper_bound(
+        gs.begin(), gs.end(), static_cast<std::uint64_t>(i),
+        [](std::uint64_t v, const typename SendLog<P>::Group& g) {
+          return v < g.base;
+        });
+    OMX_CHECK(it != gs.begin(), "logical message index out of range");
+    hint_ = static_cast<std::size_t>(it - gs.begin()) - 1;
+    return hint_;
+  }
+
   std::uint32_t n_;
   std::uint32_t round_ = 0;
   SendLog<P> log_;
   DropSet drops_;
   std::size_t sealed_ = 0;          // wire size recorded at seal()
   std::uint64_t wire_bits_ = 0;     // total bits on the wire, cached at seal()
+  mutable std::size_t hint_ = 0;    // sequential-access cursor for locate()
+
+  // Streamed-mode front buffer: last round's sealed wire, readable while
+  // the next round's sends accumulate in log_.
+  SendLog<P> front_log_;
+  DropSet front_drops_;
+  bool front_drops_any_ = false;
+  std::vector<std::uint64_t> front_payload_bits_;
+  std::vector<ListedEntry> front_listed_;
+  std::vector<std::size_t> front_listed_offsets_;
+  bool front_valid_ = false;
+  bool streamed_mode_ = false;
 
   // Delivery scratch + double-buffered inboxes (all capacity-persistent).
   std::vector<std::uint64_t> payload_bits_;  // per payload slot, at seal()
   std::vector<std::uint32_t> payload_uses_;
   std::vector<std::size_t> counts_;
   std::vector<std::size_t> scratch_offsets_;
-  std::vector<std::uint32_t> order_;
+  std::vector<ListedEntry> listed_;
+  std::vector<std::size_t> listed_counts_;
+  std::vector<std::size_t> listed_offsets_;
   std::vector<Message<P>> staging_;
   std::vector<Message<P>> inbox_store_;
   std::vector<std::size_t> inbox_offsets_;

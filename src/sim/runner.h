@@ -108,6 +108,17 @@ class Runner {
     /// so the stream is bit-identical across thread counts. Ignored when
     /// tracing is compiled out (OMX_DISABLE_TRACING).
     trace::TraceWriter* trace = nullptr;
+    /// How phase 3 hands messages to receivers.
+    ///   * kMaterialized (default): counting-sorted inbox spans — what
+    ///     every machine supports, required for tracing.
+    ///   * kStreamed: no inbox buffer is ever built; machines iterate the
+    ///     sealed wire via RoundIo::for_each_in(). Metrics totals are
+    ///     identical to the materialized path. Only machines written
+    ///     against for_each_in() support this; a machine that calls
+    ///     io.inbox() fails loudly. Incompatible with tracing (the
+    ///     constructor rejects the combination).
+    enum class Delivery { kMaterialized, kStreamed };
+    Delivery delivery = Delivery::kMaterialized;
   };
 
   Runner(std::uint32_t n, std::uint32_t fault_budget, rng::Ledger* ledger,
@@ -121,6 +132,10 @@ class Runner {
                 "runner needs a ledger and an adversary");
     OMX_REQUIRE(ledger->num_processes() >= n,
                 "ledger must cover all processes");
+    OMX_REQUIRE(options_.delivery == Options::Delivery::kMaterialized ||
+                    options_.trace == nullptr,
+                "streamed delivery cannot emit per-message traces — run "
+                "traced executions with materialized delivery");
     unsigned lanes = options_.threads == 0
                          ? support::ThreadPool::hardware_threads()
                          : options_.threads;
@@ -194,6 +209,10 @@ class Runner {
       // on billing order this round; serial otherwise.
       if (stats) t0 = Clock::now();
       plane.begin_round(round);
+      const bool streamed =
+          options_.delivery == Options::Delivery::kStreamed;
+      const MessagePlane<P>* const stream = streamed ? &plane : nullptr;
+      const std::span<const Message<P>> no_inbox;
       const bool sharded =
           lanes_ > 1 && ledger_->racked_admissible(options_.rng_slack_calls,
                                                    options_.rng_slack_bits);
@@ -206,8 +225,9 @@ class Runner {
               (std::uint64_t{n_} * (w + 1)) / lanes_);
           SendLog<P>& log = stage_[w];
           for (ProcessId p = lo; p < hi; ++p) {
-            RoundIo<P> io(round, p, plane.inbox(p), &log,
-                          &ledger_->source(p), w);
+            RoundIo<P> io(round, p,
+                          streamed ? no_inbox : plane.inbox(p), &log,
+                          &ledger_->source(p), w, stream);
             machine.round(p, io);
           }
         });
@@ -226,8 +246,9 @@ class Runner {
         }
       } else {
         for (ProcessId p = 0; p < n_; ++p) {
-          RoundIo<P> io(round, p, plane.inbox(p), &plane.log(),
-                        &ledger_->source(p));
+          RoundIo<P> io(round, p,
+                        streamed ? no_inbox : plane.inbox(p), &plane.log(),
+                        &ledger_->source(p), 0, stream);
           machine.round(p, io);
         }
       }
@@ -266,7 +287,11 @@ class Runner {
 
       // Phase 3: delivery + accounting. Sent-but-omitted messages still
       // count toward communication (the sender spent the bits).
-      plane.deliver(m, tracer);
+      if (streamed) {
+        plane.deliver_streamed(m);
+      } else {
+        plane.deliver(m, tracer);
+      }
       if (stats) {
         stats->delivery_ns += static_cast<std::uint64_t>(
             std::chrono::nanoseconds(Clock::now() - t0).count());

@@ -18,6 +18,19 @@ constexpr std::uint64_t field_bits(std::uint64_t v) {
   return static_cast<std::uint64_t>(std::bit_width(v | 1u));
 }
 
+/// Prefix sum of field_bits: F(x) = sum of field_bits(i) for i in [0, x).
+/// Closed form — for x >= 1, with b = bit_width(x - 1),
+///   F(x) = 1 + x*b - (2^b - 1)
+/// (the leading 1 is field_bits(0); each width class [2^(k-1), 2^k) holds
+/// 2^(k-1) values of width k). This is what lets run-length-coded views
+/// bill a whole id interval [lo, hi) at F(hi) - F(lo) in O(1) instead of
+/// looping over every id.
+constexpr std::uint64_t field_bits_prefix(std::uint64_t x) {
+  if (x == 0) return 0;
+  const auto b = static_cast<std::uint64_t>(std::bit_width(x - 1));
+  return 1 + x * b - ((std::uint64_t{1} << b) - 1);
+}
+
 /// ceil(log2(x)) for x >= 1: the number of bits needed to index x values.
 constexpr std::uint32_t ceil_log2(std::uint64_t x) {
   if (x <= 1) return 0;

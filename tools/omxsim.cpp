@@ -116,6 +116,12 @@ int run_main(int argc, char** argv) {
   args.add_option("trace", "",
                   "write a binary event trace to this path (suffixed "
                   ".<seed> when --seeds > 1); analyze with omxtrace");
+  args.add_flag("packed",
+                "word-packed knowledge views (floodset/benor); bit-identical "
+                "results, much faster at large n");
+  args.add_flag("streamed",
+                "streamed delivery: no inbox materialization (floodset/"
+                "benor); metrics-identical, incompatible with --trace");
   args.add_flag("csv", "emit one CSV line per run instead of a table");
 
   if (!args.parse(argc, argv)) {
@@ -152,6 +158,8 @@ int run_main(int argc, char** argv) {
   const auto budget = args.get_int("budget");
   if (budget >= 0) cfg.random_bit_budget = static_cast<std::uint64_t>(budget);
   cfg.threads = static_cast<unsigned>(args.get_int("threads"));
+  cfg.packed = args.flag("packed");
+  cfg.streamed = args.flag("streamed");
 
   harness::SweepOptions sweep_opts = harness::SweepOptions::from_env();
   if (!args.get("checkpoint").empty()) {
