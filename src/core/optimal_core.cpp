@@ -15,8 +15,9 @@ OptimalCore::OptimalCore(OptimalConfig config,
                          std::span<const std::uint8_t> inputs)
     : cfg_(config),
       m_(static_cast<std::uint32_t>(inputs.size())),
-      partition_(std::max<std::uint32_t>(1, m_)),
-      tree_(partition_.max_group_size()),
+      partition_(groups::SqrtPartition::shared_for(
+          std::max<std::uint32_t>(1, m_))),
+      tree_(partition_->max_group_size()),
       fallback_(std::max<std::uint32_t>(1, m_), cfg_.t) {
   OMX_REQUIRE(m_ >= 1, "consensus needs at least one process");
   for (std::uint8_t b : inputs) {
@@ -27,9 +28,9 @@ OptimalCore::OptimalCore(OptimalConfig config,
   for (std::uint32_t m = 0; m < m_; ++m) {
     auto& s = st_[m];
     s.b = inputs[m];
-    s.group = partition_.group_of(m);
-    s.idx_in_group = partition_.index_in_group(m);
-    s.group_size = partition_.group_size(s.group);
+    s.group = partition_->group_of(m);
+    s.idx_in_group = partition_->index_in_group(m);
+    s.group_size = partition_->group_size(s.group);
   }
 
   if (m_ == 1) {
@@ -59,8 +60,8 @@ OptimalCore::OptimalCore(OptimalConfig config,
                 schedule_length(cfg_.params, m_, cfg_.t, cfg_.truncated),
             "schedule_length out of sync with constructor");
 
-  const std::uint32_t num_groups = partition_.num_groups();
-  const std::uint32_t width = partition_.max_group_size();
+  const std::uint32_t num_groups = partition_->num_groups();
+  const std::uint32_t width = partition_->max_group_size();
   for (std::uint32_t m = 0; m < m_; ++m) {
     auto& s = st_[m];
     s.child_valid.assign(width, 0);
@@ -81,7 +82,8 @@ std::uint32_t OptimalCore::schedule_length(const Params& params,
                                            bool truncated) {
   OMX_REQUIRE(n >= 1, "schedule_length needs n >= 1");
   if (n == 1) return 1;
-  const groups::SqrtPartition partition(n);
+  const auto partition_ptr = groups::SqrtPartition::shared_for(n);
+  const groups::SqrtPartition& partition = *partition_ptr;
   const groups::TreeDecomposition tree(partition.max_group_size());
   const std::uint32_t agg = 3 * (tree.num_layers() - 1);
   const std::uint32_t epoch_len = agg + params.spread_rounds(n);
@@ -191,7 +193,7 @@ void OptimalCore::stage_reset(MemberState& s) {
 void OptimalCore::vote_update(std::uint32_t m, rng::Source& rng) {
   auto& s = st_[m];
   std::uint64_t ones = 0, zeros = 0;
-  const std::uint32_t num_groups = partition_.num_groups();
+  const std::uint32_t num_groups = partition_->num_groups();
   for (std::uint32_t g = 0; g < num_groups; ++g) {
     if (!s.pack_valid[g]) continue;
     ones += s.pack_ones[g];
@@ -349,7 +351,7 @@ void OptimalCore::produce(std::uint32_t m, const Phase& cur, Outbox& send) {
             tree_.bag_index_of(cur.stage - 1, s.idx_in_group);
         const RelayPush push{static_cast<std::uint16_t>(cur.stage), child,
                              s.cur_ones, s.cur_zeros};
-        send.many(partition_.members(s.group), push);
+        send.many(partition_->members(s.group), push);
       }
       break;
     }
@@ -361,8 +363,8 @@ void OptimalCore::produce(std::uint32_t m, const Phase& cur, Outbox& send) {
     case Kind::AggShare: {
       const std::uint32_t child_layer = cur.stage - 1;
       const std::uint32_t child_bags = tree_.bags_in_layer(child_layer);
-      for (std::uint32_t q : partition_.members(s.group)) {
-        const std::uint32_t q_idx = partition_.index_in_group(q);
+      for (std::uint32_t q : partition_->members(s.group)) {
+        const std::uint32_t q_idx = partition_->index_in_group(q);
         const std::uint32_t k = tree_.bag_index_of(cur.stage, q_idx);
         const std::uint32_t cl = 2 * k;
         const std::uint32_t cr = 2 * k + 1;
@@ -384,7 +386,7 @@ void OptimalCore::produce(std::uint32_t m, const Phase& cur, Outbox& send) {
     case Kind::Spread: {
       epoch_reset(s, cur.epoch);  // only relevant when agg_len_ == 0
       if (!s.operative) break;
-      const std::uint32_t num_groups = partition_.num_groups();
+      const std::uint32_t num_groups = partition_->num_groups();
       if (cur.spread_round == 0) {
         s.pack_valid[s.group] = 1;
         s.pack_ones[s.group] = s.cur_ones;

@@ -185,7 +185,7 @@ class OptimalCore {
 
   OptimalConfig cfg_;
   std::uint32_t m_ = 0;  // member count
-  groups::SqrtPartition partition_;
+  std::shared_ptr<const groups::SqrtPartition> partition_;
   groups::TreeDecomposition tree_;
   std::shared_ptr<const graph::CommGraph> graph_;  // over member indices
   std::uint32_t delta_ = 0;

@@ -1,0 +1,198 @@
+#include "farm/artifact_cache.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+
+#include "support/check.h"
+
+namespace omx::farm {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'M', 'X', 'A', 'R', 'T', '1', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Fixed-size entry header; the payload follows immediately.
+struct EntryHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t payload_size;
+  std::uint64_t checksum;  // FNV-1a over the payload bytes
+};
+static_assert(sizeof(EntryHeader) == 32, "on-disk header layout");
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Blob::Blob(Blob&& other) noexcept
+    : map_(other.map_),
+      map_size_(other.map_size_),
+      payload_(other.payload_),
+      payload_size_(other.payload_size_) {
+  other.map_ = nullptr;
+  other.map_size_ = 0;
+  other.payload_ = nullptr;
+  other.payload_size_ = 0;
+}
+
+Blob& Blob::operator=(Blob&& other) noexcept {
+  if (this != &other) {
+    this->~Blob();
+    new (this) Blob(std::move(other));
+  }
+  return *this;
+}
+
+Blob::~Blob() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  OMX_REQUIRE(!ec, "artifact cache: cannot create directory " + dir_ + ": " +
+                       ec.message());
+}
+
+std::string ArtifactCache::entry_path(const std::string& key) const {
+  return dir_ + "/" + key + ".art";
+}
+
+bool ArtifactCache::put(const std::string& key,
+                        std::span<const std::uint8_t> payload) {
+  EntryHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.version = kVersion;
+  h.payload_size = payload.size();
+  h.checksum = fnv1a(payload);
+
+  const std::string final_path = entry_path(key);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  FdCloser fd{::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "artifact cache: %s %s: %s\n", what,
+                 tmp_path.c_str(), std::strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return false;
+  };
+  if (fd.fd < 0) return fail("cannot create");
+
+  const auto write_all = [&](const void* p, std::size_t len) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    while (len > 0) {
+      const ssize_t wrote = ::write(fd.fd, bytes, len);
+      if (wrote <= 0) return false;
+      bytes += wrote;
+      len -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+  };
+  if (!write_all(&h, sizeof h) || !write_all(payload.data(), payload.size()))
+    return fail("cannot write");
+  // fsync before rename: otherwise the rename can become durable before the
+  // data and a power cut publishes a hole-filled entry. (The checksum would
+  // still catch it, but "detected corruption" is strictly worse than "no
+  // corruption".)
+  if (::fsync(fd.fd) != 0) return fail("cannot fsync");
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+    return fail("cannot publish");
+  return true;
+}
+
+std::optional<Blob> ArtifactCache::get(const std::string& key) {
+  const std::string path = entry_path(key);
+  FdCloser fd{::open(path.c_str(), O_RDONLY)};
+  if (fd.fd < 0) {
+    ++misses_;
+    return std::nullopt;
+  }
+  struct stat st{};
+  const auto corrupt_miss = [&](const char* why) -> std::optional<Blob> {
+    std::fprintf(stderr,
+                 "artifact cache: %s: %s — treating as a miss and "
+                 "removing the entry\n",
+                 path.c_str(), why);
+    ::unlink(path.c_str());
+    ++corrupt_;
+    ++misses_;
+    return std::nullopt;
+  };
+  if (::fstat(fd.fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < sizeof(EntryHeader)) {
+    return corrupt_miss("too short to hold an entry header");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
+  if (map == MAP_FAILED) {
+    ++misses_;
+    return std::nullopt;
+  }
+  Blob blob;
+  blob.map_ = map;
+  blob.map_size_ = size;
+  const auto* h = static_cast<const EntryHeader*>(map);
+  if (std::memcmp(h->magic, kMagic, sizeof kMagic) != 0)
+    return corrupt_miss("bad magic");
+  if (h->version != kVersion) return corrupt_miss("unknown format version");
+  if (h->payload_size != size - sizeof(EntryHeader))
+    return corrupt_miss("payload size disagrees with file size (torn write)");
+  blob.payload_ = static_cast<const std::uint8_t*>(map) + sizeof(EntryHeader);
+  blob.payload_size_ = static_cast<std::size_t>(h->payload_size);
+  if (fnv1a(blob.bytes()) != h->checksum)
+    return corrupt_miss("payload checksum mismatch");
+  ++hits_;
+  return blob;
+}
+
+bool ArtifactCache::corrupt_entry_for_test(const std::string& key) {
+  const std::string path = entry_path(key);
+  FdCloser fd{::open(path.c_str(), O_RDWR)};
+  if (fd.fd < 0) return false;
+  std::uint8_t byte = 0;
+  if (::pread(fd.fd, &byte, 1, sizeof(EntryHeader)) != 1) return false;
+  byte ^= 0xFF;
+  return ::pwrite(fd.fd, &byte, 1, sizeof(EntryHeader)) == 1;
+}
+
+ArtifactCache* ArtifactCache::process_cache() {
+  static std::once_flag once;
+  static std::unique_ptr<ArtifactCache> cache;
+  std::call_once(once, [] {
+    const char* dir = std::getenv("OMX_ARTIFACT_CACHE");
+    if (dir == nullptr || dir[0] == '\0') return;
+    try {
+      cache = std::make_unique<ArtifactCache>(dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "artifact cache: disabled: %s\n", e.what());
+    }
+  });
+  return cache.get();
+}
+
+}  // namespace omx::farm

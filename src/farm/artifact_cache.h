@@ -1,0 +1,105 @@
+// Crash-consistent, mmap-backed artifact cache (ROADMAP item 3).
+//
+// Several per-trial structures are pure functions of a tiny key — the
+// common-knowledge CommGraph is determined by (n, Δ), the √n decomposition
+// by n alone — yet every trial of a sweep recomputes them. The cache turns
+// each such artifact into a checksummed blob file under a cache directory,
+// shared by every process that points OMX_ARTIFACT_CACHE at it (the farm
+// daemon does this for its forked workers, so a 4-worker sweep builds each
+// graph once instead of four times per process).
+//
+// The failure story is the point, not the speedup:
+//
+//   * writes are publish-by-rename — payload goes to `<name>.tmp.<pid>`,
+//     is fsync'd, then rename(2)'d over the final name, so a reader never
+//     observes a half-written entry and a crashed writer leaves only a
+//     .tmp file that the next write replaces;
+//   * every entry starts with a fixed header carrying a magic, a format
+//     version, the payload size and an FNV-1a checksum of the payload; a
+//     torn or bit-flipped entry fails validation and get() treats it as a
+//     MISS (and unlinks the debris) — a corrupt cache can cost time, never
+//     correctness;
+//   * reads are zero-copy: the file is mmap'd read-only and the caller
+//     gets a span into the mapping (Blob unmaps on destruction).
+//
+// Keys are caller-chosen strings like "graph-n1024-d40"; the cache neither
+// interprets them nor hashes them (collisions are the caller's bug). All
+// methods are safe to call from concurrently running *processes*: the
+// worst interleaving is two processes computing and publishing the same
+// entry, and rename makes the last one win with a valid file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace omx::farm {
+
+/// A validated, memory-mapped cache entry. Movable, unmaps on destruction.
+class Blob {
+ public:
+  Blob() = default;
+  Blob(Blob&& other) noexcept;
+  Blob& operator=(Blob&& other) noexcept;
+  Blob(const Blob&) = delete;
+  Blob& operator=(const Blob&) = delete;
+  ~Blob();
+
+  std::span<const std::uint8_t> bytes() const {
+    return {payload_, payload_size_};
+  }
+
+ private:
+  friend class ArtifactCache;
+  void* map_ = nullptr;          // whole-file mapping (header + payload)
+  std::size_t map_size_ = 0;
+  const std::uint8_t* payload_ = nullptr;
+  std::size_t payload_size_ = 0;
+};
+
+class ArtifactCache {
+ public:
+  /// Opens (creating if needed) a cache rooted at `dir`. Throws
+  /// PreconditionError if the directory cannot be created.
+  explicit ArtifactCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Publish `payload` under `key` (write-to-temp + fsync + rename).
+  /// Returns false (and warns on stderr) on I/O failure — the cache is an
+  /// accelerator, so a failed put degrades to recomputation, not an abort.
+  bool put(const std::string& key, std::span<const std::uint8_t> payload);
+
+  /// Look up `key`. A missing, torn, truncated or checksum-failing entry is
+  /// a miss; corrupt entries are additionally unlinked so they are rebuilt
+  /// rather than re-probed forever.
+  std::optional<Blob> get(const std::string& key);
+
+  /// Lifetime counters (this ArtifactCache instance only), for tests and
+  /// the farm's status endpoint.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t corrupt_entries() const { return corrupt_; }
+
+  /// Deliberately corrupt the stored entry for `key` by flipping one
+  /// payload byte in place (chaos-testing hook; returns false if absent).
+  bool corrupt_entry_for_test(const std::string& key);
+
+  /// The process-wide cache configured by the OMX_ARTIFACT_CACHE
+  /// environment variable, or nullptr when the variable is unset/empty or
+  /// the directory is unusable. Evaluated once per process (the farm sets
+  /// the variable before forking workers).
+  static ArtifactCache* process_cache();
+
+ private:
+  std::string entry_path(const std::string& key) const;
+
+  std::string dir_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t corrupt_ = 0;
+};
+
+}  // namespace omx::farm

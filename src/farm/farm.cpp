@@ -1,0 +1,415 @@
+#include "farm/farm.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "farm/shard.h"
+#include "support/check.h"
+
+namespace omx::farm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int exit_code_for_verdict(harness::Verdict v) {
+  switch (v) {
+    case harness::Verdict::Ok:
+    case harness::Verdict::RoundCap:
+    case harness::Verdict::Timeout:
+      return 0;  // recorded, possibly imperfect — but the line is durable
+    case harness::Verdict::Precondition:
+      return 2;
+    case harness::Verdict::Invariant:
+      return 3;
+    case harness::Verdict::AdversaryViolation:
+      return 4;
+  }
+  return 3;
+}
+
+bool write_all_fd(int fd, const char* p, std::size_t len) {
+  while (len > 0) {
+    const ssize_t wrote = ::write(fd, p, len);
+    if (wrote <= 0) return false;
+    p += wrote;
+    len -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// Append one line + fsync: the record is durable before the caller
+/// advances its state machine.
+bool append_line_durably(const std::string& path, const std::string& line) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return false;
+  const std::string data = line + "\n";
+  const bool ok = write_all_fd(fd, data.data(), data.size()) &&
+                  ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+/// Chaos-test hooks (see tests/farm_test.cpp and the CI farm-chaos job):
+/// OMX_FARM_TEST_CRASH_KEY=<key>        SIGKILL self on the first attempt
+/// OMX_FARM_TEST_HANG_KEY=<key>[:once]  hang forever (every attempt, or
+///                                      only the first with ":once")
+void maybe_run_chaos_hooks(const std::string& key, std::uint32_t attempt) {
+  if (const char* crash = std::getenv("OMX_FARM_TEST_CRASH_KEY")) {
+    if (key == crash && attempt == 1) ::raise(SIGKILL);
+  }
+  if (const char* hang = std::getenv("OMX_FARM_TEST_HANG_KEY")) {
+    std::string spec = hang;
+    bool once = false;
+    if (const auto colon = spec.rfind(":once"); colon != std::string::npos &&
+                                                colon == spec.size() - 5) {
+      once = true;
+      spec.resize(colon);
+    }
+    if (key == spec && (!once || attempt == 1)) {
+      // Hang until the daemon is gone (reparenting changes getppid), then
+      // exit: a SIGKILL'd daemon must not leak paused workers.
+      const pid_t daemon = ::getppid();
+      while (::getppid() == daemon) ::usleep(50 * 1000);
+      ::_exit(9);
+    }
+  }
+}
+
+}  // namespace
+
+Farm::Farm(FarmOptions options)
+    : options_(std::move(options)),
+      queue_(WorkQueueOptions{options_.watchdog_ms, options_.max_attempts,
+                              options_.backoff_base_ms,
+                              options_.backoff_cap_ms},
+             steady_now_ms) {
+  OMX_REQUIRE(!options_.dir.empty(), "farm needs a state directory");
+  OMX_REQUIRE(options_.workers >= 1, "farm needs at least one worker");
+  std::error_code ec;
+  fs::create_directories(shard_dir(), ec);
+  OMX_REQUIRE(!ec, "farm: cannot create " + shard_dir() + ": " + ec.message());
+  // Workers never checkpoint on their own: the shard line IS the
+  // checkpoint, written exactly once per completed trial.
+  options_.sweep.checkpoint_path.clear();
+  if (options_.use_artifact_cache &&
+      std::getenv("OMX_ARTIFACT_CACHE") == nullptr) {
+    ::setenv("OMX_ARTIFACT_CACHE", (options_.dir + "/cache").c_str(), 0);
+  }
+  slots_.resize(static_cast<std::size_t>(options_.workers));
+}
+
+bool Farm::add(const harness::ExperimentConfig& cfg) {
+  // Fold the sweep-level trial deadline into the config before hashing,
+  // exactly as Sweep::run does: the item's key must equal the key a
+  // single-process `omxsim --deadline-ms ... --checkpoint` sweep records,
+  // or the merged output stops matching the reference byte for byte.
+  harness::ExperimentConfig keyed = cfg;
+  if (options_.sweep.trial_deadline_ms != 0) {
+    keyed.deadline_ms = options_.sweep.trial_deadline_ms;
+  }
+  const bool added = queue_.add(harness::config_key(keyed), keyed);
+  if (added) ++report_.items;
+  return added;
+}
+
+std::string Farm::shard_path(int slot) const {
+  return shard_dir() + "/worker-" + std::to_string(slot) + ".jsonl";
+}
+
+std::string Farm::daemon_shard_path() const {
+  return shard_dir() + "/daemon.jsonl";
+}
+
+std::string Farm::socket_path_for(const std::string& dir) {
+  return dir + "/farm.sock";
+}
+
+void Farm::resume_from_shards() {
+  // Repair first: a shard whose tail was torn by a killed worker must not
+  // receive appends after the debris, or the next line would be corrupted.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(shard_dir(), ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+      report_.torn_shard_lines += repair_shard(entry.path().string());
+    }
+  }
+  const ShardScan scan = scan_shards(shard_dir());
+  for (const auto& [key, line] : scan.lines) {
+    if (queue_.mark_done(key)) ++report_.resumed;
+  }
+}
+
+[[noreturn]] void Farm::worker_main(const WorkItem& item, int slot) {
+  // Keep the fork narrow: run the trial, make its line durable, exit with
+  // the verdict-taxonomy code. _exit (not exit) — the daemon's atexit
+  // state is not ours to run.
+  maybe_run_chaos_hooks(item.key, item.attempts);
+  harness::Sweep sweep(options_.sweep);
+  harness::ExperimentConfig cfg = item.config;
+  // Worker lanes off inside workers: farm parallelism is process-level,
+  // and the engine is bit-identical at every lane count anyway.
+  cfg.threads = 1;
+  const harness::TrialOutcome outcome = sweep.run(cfg);
+  const std::string line = harness::checkpoint_line(item.key, outcome);
+  if (!append_line_durably(shard_path(slot), line)) {
+    std::fprintf(stderr, "farm worker: cannot append to %s\n",
+                 shard_path(slot).c_str());
+    ::_exit(6);  // undurable result — the daemon re-leases the item
+  }
+  ::_exit(exit_code_for_verdict(outcome.verdict));
+}
+
+void Farm::spawn_ready_workers() {
+  for (int slot = 0; slot < options_.workers; ++slot) {
+    if (slots_[static_cast<std::size_t>(slot)].pid != -1) continue;
+    const auto index = queue_.acquire(slot, /*pid=*/-1);
+    if (!index) return;  // nothing eligible right now
+    std::fflush(nullptr);  // no duplicated stdio buffers in the child
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "farm: fork failed: %s\n", std::strerror(errno));
+      queue_.fail(*index);
+      return;
+    }
+    if (pid == 0) {
+      worker_main(queue_.item(*index), slot);  // never returns
+    }
+    queue_.set_lease_pid(*index, pid);
+    slots_[static_cast<std::size_t>(slot)] = Slot{pid, *index};
+  }
+}
+
+void Farm::record_exhausted(const WorkItem& item, bool hung) {
+  harness::TrialOutcome outcome;
+  outcome.verdict =
+      hung ? harness::Verdict::Timeout : harness::Verdict::Invariant;
+  outcome.attempts = item.attempts;
+  outcome.seed_used = item.config.seed;
+  outcome.error = hung ? "farm: worker hung past the lease watchdog on every "
+                         "attempt (retry budget exhausted)"
+                       : "farm: worker crashed on every attempt (retry "
+                         "budget exhausted)";
+  // The synthetic line keeps the merged results total: every queued key
+  // appears exactly once even when its trial never managed to record
+  // itself. daemon.jsonl sits beside the worker shards so the merge picks
+  // it up like any other.
+  if (!append_line_durably(daemon_shard_path(),
+                           harness::checkpoint_line(item.key, outcome))) {
+    std::fprintf(stderr, "farm: cannot record exhausted item %s\n",
+                 item.key.c_str());
+  }
+  ++report_.failed;
+}
+
+void Farm::reap_finished_workers() {
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) return;
+    // Find the slot this pid was leased to.
+    std::size_t slot = slots_.size();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].pid == pid) slot = s;
+    }
+    if (slot == slots_.size()) continue;  // not a worker (should not happen)
+    const std::size_t index = slots_[slot].item_index;
+    slots_[slot] = Slot{};
+    const WorkItem& item = queue_.item(index);
+
+    if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      ++report_.exit_codes[code];
+      if (code == 0 || code == 2 || code == 3 || code == 4) {
+        // Recorded outcome (the taxonomy codes are *recorded* model
+        // violations — deterministic, so a re-lease would just re-fail).
+        queue_.complete(index);
+        ++report_.done;
+        continue;
+      }
+      // Any other exit (e.g. 6 = shard append failed) is an unrecorded
+      // trial: treat like a crash.
+    }
+    const bool hung = item.watchdog_fired;
+    if (WIFSIGNALED(status) || WIFEXITED(status)) {
+      if (hung) {
+        ++report_.watchdog_kills;
+      } else {
+        ++report_.crashed_workers;
+      }
+      // The dead worker may have torn its shard tail mid-write; repair
+      // before the slot is reused so later appends start on a line
+      // boundary.
+      report_.torn_shard_lines +=
+          repair_shard(shard_path(static_cast<int>(slot)));
+      if (!queue_.fail(index)) record_exhausted(item, hung);
+    }
+  }
+}
+
+void Farm::kill_expired_leases() {
+  for (const std::size_t index : queue_.expired()) {
+    for (const auto& slot : slots_) {
+      if (slot.pid != -1 && slot.item_index == index) {
+        ::kill(static_cast<pid_t>(slot.pid), SIGKILL);
+      }
+    }
+  }
+}
+
+std::string Farm::status_json() const {
+  std::ostringstream os;
+  os << "{\"items\":" << queue_.size()
+     << ",\"pending\":" << queue_.count(ItemState::Pending)
+     << ",\"leased\":" << queue_.count(ItemState::Leased)
+     << ",\"done\":" << queue_.count(ItemState::Done)
+     << ",\"failed\":" << queue_.count(ItemState::Failed)
+     << ",\"resumed\":" << report_.resumed
+     << ",\"releases\":" << queue_.retries()
+     << ",\"workers\":" << options_.workers
+     << ",\"crashed_workers\":" << report_.crashed_workers
+     << ",\"watchdog_kills\":" << report_.watchdog_kills << "}";
+  return os.str();
+}
+
+int Farm::open_socket() {
+  const std::string path = socket_path_for(options_.dir);
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr,
+                 "farm: socket path %s exceeds the AF_UNIX limit — status "
+                 "endpoint disabled\n",
+                 path.c_str());
+    return -1;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listener < 0) return -1;
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::fprintf(stderr, "farm: cannot serve %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(listener);
+    return -1;
+  }
+  return listener;
+}
+
+void Farm::serve_socket_once(int listener, int timeout_ms) {
+  pollfd pfd{listener, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return;
+  const int client = ::accept(listener, nullptr, nullptr);
+  if (client < 0) return;
+  char buf[256];
+  const ssize_t got = ::recv(client, buf, sizeof buf - 1, 0);
+  std::string request(buf, got > 0 ? static_cast<std::size_t>(got) : 0);
+  if (const auto nl = request.find('\n'); nl != std::string::npos) {
+    request.resize(nl);
+  }
+  std::string response;
+  if (request == "status") {
+    response = status_json() + "\n";
+  } else if (request == "results") {
+    // Live view of everything durable so far, in canonical order.
+    for (const auto& [key, line] : scan_shards(shard_dir()).lines) {
+      response += line;
+      response += '\n';
+    }
+  } else {
+    response = "{\"error\":\"unknown request (want: status | results)\"}\n";
+  }
+  write_all_fd(client, response.data(), response.size());
+  ::close(client);
+}
+
+FarmReport Farm::run() {
+  // A client vanishing mid-response must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+  resume_from_shards();
+  const int listener = options_.serve_socket ? open_socket() : -1;
+
+  while (!queue_.all_settled()) {
+    kill_expired_leases();
+    reap_finished_workers();
+    spawn_ready_workers();
+    // Sleep until the next timed event, bounded so child exits (which do
+    // not wake poll) are reaped promptly.
+    int timeout_ms = 20;
+    if (const auto next = queue_.next_deadline_in()) {
+      timeout_ms = static_cast<int>(
+          std::min<std::uint64_t>(*next + 1, 100));
+    }
+    if (listener >= 0) {
+      serve_socket_once(listener, timeout_ms);
+    } else {
+      ::poll(nullptr, 0, timeout_ms);
+    }
+  }
+
+  const ShardScan merged = merge_shards(shard_dir(), merged_path());
+  report_.torn_shard_lines += merged.torn_lines;
+  report_.merged_path = merged_path();
+  report_.releases = queue_.retries();
+  if (listener >= 0) {
+    ::close(listener);
+    ::unlink(socket_path_for(options_.dir).c_str());
+  }
+  return report_;
+}
+
+std::string Farm::query(const std::string& dir, const std::string& request) {
+  const std::string path = socket_path_for(dir);
+  sockaddr_un addr{};
+  OMX_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "farm: socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  OMX_REQUIRE(fd >= 0, "farm: cannot create socket");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw PreconditionError("farm: no daemon listening at " + path + ": " +
+                            std::strerror(errno));
+  }
+  const std::string line = request + "\n";
+  std::string response;
+  if (write_all_fd(fd, line.data(), line.size())) {
+    ::shutdown(fd, SHUT_WR);
+    char buf[4096];
+    for (;;) {
+      const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+      if (got <= 0) break;
+      response.append(buf, static_cast<std::size_t>(got));
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace omx::farm

@@ -1,0 +1,134 @@
+// omxfarm: fork-isolated, crash-safe sweep farm (ROADMAP item 3).
+//
+// The PR 4 sweep runner survives a *trial* failing because the trial runs
+// inside an in-process isolation shell. The farm makes the failure domain a
+// whole process: every leased work item runs in a fork(2)'d worker, so a
+// trial that corrupts memory, SIGSEGVs, or is SIGKILL'd from outside burns
+// only its lease — the daemon classifies the worker's fate (the PR 4
+// verdict taxonomy exit codes 2/3/4 for recorded model violations, vs. a
+// termination signal for a crash) and re-queues crashed items through the
+// WorkQueue's backoff/retry policy.
+//
+// Durability layering (who survives what):
+//
+//   worker SIGKILL   → its shard holds at most a torn final line; the
+//                      lease fails, the item re-runs, shard repair drops
+//                      the debris. Merged results are unaffected.
+//   worker hang      → the lease watchdog SIGKILLs it; same as above but
+//                      classified separately (watchdog_kills).
+//   daemon SIGKILL   → workers finish or die orphaned; every completed
+//                      trial is already a durable shard line. A re-run
+//                      daemon rescans shards, repairs torn tails, marks
+//                      recorded items done and runs only the remainder —
+//                      the merged output is byte-identical to an
+//                      uninterrupted farm's (and, after canonical sort, to
+//                      a single-process Sweep of the same grid).
+//   corrupt cache    → the artifact cache checksums every entry; a torn or
+//                      bit-flipped blob is a miss and the artifact is
+//                      rebuilt. Decisions and metrics never change.
+//
+// While running, the daemon serves newline-delimited requests ("status",
+// "results") over a Unix-domain socket at `<dir>/farm.sock`, answering
+// with JSON — any number of clients can poll a running farm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "farm/workqueue.h"
+#include "harness/sweep.h"
+
+namespace omx::farm {
+
+struct FarmOptions {
+  /// Farm state directory: shards/, merged.jsonl, farm.sock, cache/.
+  std::string dir;
+  /// Concurrent fork-isolated workers.
+  int workers = 4;
+  /// Lease watchdog (ms): a worker past this deadline is SIGKILLed and the
+  /// lease failed. 0 = none. Distinct from the *cooperative* per-trial
+  /// deadline (sweep.trial_deadline_ms), which a healthy engine honors by
+  /// recording a timeout verdict; the watchdog is the backstop for a
+  /// worker that cannot even do that.
+  std::uint64_t watchdog_ms = 0;
+  /// Farm-level leases per item (crash/hang retries; 1 = none).
+  std::uint32_t max_attempts = 3;
+  std::uint64_t backoff_base_ms = 100;
+  std::uint64_t backoff_cap_ms = 5000;
+  /// Serve status/results over <dir>/farm.sock while running.
+  bool serve_socket = true;
+  /// Point OMX_ARTIFACT_CACHE at <dir>/cache before forking workers (only
+  /// when the variable is not already set), so all workers share one
+  /// crash-consistent artifact store.
+  bool use_artifact_cache = true;
+  /// In-worker trial options (cooperative deadline, transient-verdict seed
+  /// retries, repro capture) — the same knobs a single-process Sweep takes,
+  /// so a farm and a Sweep given identical options produce identical lines.
+  harness::SweepOptions sweep;
+};
+
+struct FarmReport {
+  std::size_t items = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;    // retry budget exhausted (synthetic outcome)
+  std::size_t resumed = 0;   // satisfied from shards before any fork
+  std::uint64_t releases = 0;  // farm-level retries (leases beyond first)
+  std::size_t crashed_workers = 0;   // exits by signal (not watchdog)
+  std::size_t watchdog_kills = 0;    // leases reaped by the watchdog
+  std::size_t torn_shard_lines = 0;  // debris dropped by repair/merge
+  /// Worker exit-code histogram (0 ok-recorded, 2/3/4 the PR 4 taxonomy).
+  std::map<int, std::uint64_t> exit_codes;
+  std::string merged_path;
+  bool all_ok() const { return failed == 0; }
+};
+
+class Farm {
+ public:
+  explicit Farm(FarmOptions options);
+
+  /// Queue one sweep cell. Returns false for a duplicate config hash.
+  bool add(const harness::ExperimentConfig& cfg);
+
+  /// Run the farm to completion: resume from shards, fork/lease/reap until
+  /// every item settles, then publish <dir>/merged.jsonl. Blocking.
+  FarmReport run();
+
+  /// One-line JSON status snapshot (the socket's "status" answer).
+  std::string status_json() const;
+
+  static std::string socket_path_for(const std::string& dir);
+
+  /// Client side: send `request` ("status" or "results") to the farm
+  /// serving <dir>/farm.sock and return the raw response. Throws
+  /// PreconditionError if no daemon is listening there.
+  static std::string query(const std::string& dir, const std::string& request);
+
+ private:
+  struct Slot {
+    std::int64_t pid = -1;          // -1 = free
+    std::size_t item_index = 0;
+  };
+
+  std::string shard_dir() const { return options_.dir + "/shards"; }
+  std::string shard_path(int slot) const;
+  std::string daemon_shard_path() const;
+  std::string merged_path() const { return options_.dir + "/merged.jsonl"; }
+
+  void resume_from_shards();
+  void spawn_ready_workers();
+  [[noreturn]] void worker_main(const WorkItem& item, int slot);
+  void reap_finished_workers();
+  void kill_expired_leases();
+  void record_exhausted(const WorkItem& item, bool hung);
+  int open_socket();
+  void serve_socket_once(int listener, int timeout_ms);
+
+  FarmOptions options_;
+  WorkQueue queue_;
+  std::vector<Slot> slots_;
+  FarmReport report_;
+};
+
+}  // namespace omx::farm

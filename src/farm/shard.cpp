@@ -1,0 +1,131 @@
+#include "farm/shard.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "harness/sweep.h"
+#include "support/check.h"
+
+namespace omx::farm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Feed every line of one shard into the scan.
+void scan_file(const fs::path& path, ShardScan* scan) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string key;
+    harness::TrialOutcome outcome;
+    if (!harness::parse_checkpoint_line(line, &key, &outcome)) {
+      ++scan->torn_lines;
+      continue;
+    }
+    const auto [it, inserted] = scan->lines.emplace(key, line);
+    if (!inserted) {
+      ++scan->duplicate_keys;
+      // Deterministic winner (duplicates are identical for a deterministic
+      // engine; smallest-line keeps the merge canonical even if not).
+      if (line < it->second) it->second = line;
+    }
+  }
+}
+
+bool is_shard(const fs::directory_entry& e) {
+  return e.is_regular_file() && e.path().extension() == ".jsonl";
+}
+
+}  // namespace
+
+ShardScan scan_shards(const std::string& shard_dir) {
+  ShardScan scan;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(shard_dir, ec)) {
+    if (is_shard(entry)) scan_file(entry.path(), &scan);
+  }
+  return scan;
+}
+
+std::size_t repair_shard(const std::string& shard_path) {
+  std::ifstream in(shard_path, std::ios::binary);
+  if (!in) return 0;
+  std::string kept;
+  std::size_t dropped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string key;
+    harness::TrialOutcome outcome;
+    if (harness::parse_checkpoint_line(line, &key, &outcome)) {
+      kept += line;
+      kept += '\n';
+    } else {
+      ++dropped;
+    }
+  }
+  in.close();
+  if (dropped == 0) return 0;
+  const std::string tmp = shard_path + ".repair";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << kept;
+    out.flush();
+    OMX_CHECK(static_cast<bool>(out), "shard repair: cannot write " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, shard_path, ec);
+  OMX_CHECK(!ec, "shard repair: cannot publish " + shard_path + ": " +
+                     ec.message());
+  std::fprintf(stderr,
+               "farm: shard %s: dropped %zu torn line(s) left by a killed "
+               "worker — the affected trial(s) re-run\n",
+               shard_path.c_str(), dropped);
+  return dropped;
+}
+
+ShardScan merge_shards(const std::string& shard_dir,
+                       const std::string& out_path) {
+  ShardScan scan = scan_shards(shard_dir);
+  std::string merged;
+  for (const auto& [key, line] : scan.lines) {
+    merged += line;
+    merged += '\n';
+  }
+  const std::string tmp = out_path + ".tmp";
+  {
+    // write(2) + fsync rather than ofstream: the merged file is the farm's
+    // final product, so its durability must not depend on libc flush
+    // timing relative to the rename.
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    OMX_CHECK(fd >= 0, "merge: cannot create " + tmp);
+    const char* p = merged.data();
+    std::size_t left = merged.size();
+    bool ok = true;
+    while (left > 0 && ok) {
+      const ssize_t wrote = ::write(fd, p, left);
+      ok = wrote > 0;
+      if (ok) {
+        p += wrote;
+        left -= static_cast<std::size_t>(wrote);
+      }
+    }
+    ok = ok && ::fsync(fd) == 0;
+    ::close(fd);
+    OMX_CHECK(ok, "merge: cannot write " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, out_path, ec);
+  OMX_CHECK(!ec, "merge: cannot publish " + out_path + ": " + ec.message());
+  return scan;
+}
+
+}  // namespace omx::farm

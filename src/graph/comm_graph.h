@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -51,6 +52,19 @@ class CommGraph {
   /// hits) — observable evidence of the once-per-key guarantee for tests.
   static std::uint64_t common_for_shared_builds();
 
+  /// Graphs common_for_shared loaded from the on-disk artifact cache
+  /// (OMX_ARTIFACT_CACHE) instead of rebuilding.
+  static std::uint64_t common_for_shared_disk_loads();
+
+  /// Serialize the CSR arrays for the artifact cache. from_csr_blob
+  /// validates structure (monotonic offsets, in-range sorted neighbors)
+  /// and rebuilds without re-running the O(E log E) constructor checks;
+  /// a malformed blob — the cache's checksum should have caught it first —
+  /// yields nullopt, which cache users treat as a miss.
+  std::vector<std::uint8_t> to_csr_blob() const;
+  static std::optional<CommGraph> from_csr_blob(
+      std::span<const std::uint8_t> blob);
+
   std::uint32_t n() const {
     return static_cast<std::uint32_t>(offsets_.size() - 1);
   }
@@ -65,6 +79,8 @@ class CommGraph {
   bool has_edge(Vertex u, Vertex v) const;
 
  private:
+  CommGraph() = default;  // from_csr_blob fills the members directly
+
   std::vector<std::uint32_t> offsets_;  // n+1 row starts into flat_
   std::vector<Vertex> flat_;            // sorted neighbor lists, concatenated
   std::uint64_t num_edges_ = 0;

@@ -166,10 +166,10 @@ std::unique_ptr<sim::Adversary<Msg>> make_adversary(
           cfg.n, std::move(faulty));
     }
     case Attack::GroupKiller: {
-      groups::SqrtPartition partition(cfg.n);
+      const auto partition = groups::SqrtPartition::shared_for(cfg.n);
       std::vector<std::vector<sim::ProcessId>> gs;
-      for (std::uint32_t g = 0; g < partition.num_groups(); ++g) {
-        const auto span = partition.members(g);
+      for (std::uint32_t g = 0; g < partition->num_groups(); ++g) {
+        const auto span = partition->members(g);
         gs.emplace_back(span.begin(), span.end());
       }
       return std::make_unique<adversary::GroupKillerAdversary<Msg>>(

@@ -165,10 +165,12 @@ std::uint64_t to_u64(const std::string& s) {
   return std::strtoull(s.c_str(), nullptr, 10);
 }
 
+}  // namespace
+
 /// One checkpoint line: the full TrialOutcome, keyed by config hash. Every
 /// field a driver prints must be here, or resume would not be
 /// byte-identical with the uninterrupted run.
-std::string to_json_line(const std::string& key, const TrialOutcome& o) {
+std::string checkpoint_line(const std::string& key, const TrialOutcome& o) {
   const ExperimentResult& r = o.result;
   std::ostringstream os;
   os << "{\"key\":\"" << key << "\""
@@ -195,8 +197,8 @@ std::string to_json_line(const std::string& key, const TrialOutcome& o) {
   return os.str();
 }
 
-bool outcome_from_json_line(const std::string& line, std::string* key,
-                            TrialOutcome* o) {
+bool parse_checkpoint_line(const std::string& line, std::string* key,
+                           TrialOutcome* o) {
   std::unordered_map<std::string, std::string> kv;
   if (!parse_flat_json(line, &kv)) return false;
   const auto need = [&](const char* k, std::string* dst) -> bool {
@@ -251,6 +253,8 @@ bool outcome_from_json_line(const std::string& line, std::string* key,
   return true;
 }
 
+namespace {
+
 bool transient(Verdict v) {
   return v == Verdict::Timeout || v == Verdict::RoundCap;
 }
@@ -298,15 +302,20 @@ std::string serialize_config(const ExperimentConfig& cfg) {
 }
 
 bool parse_config(const std::string& text, ExperimentConfig* out,
-                  std::string* error) {
+                  std::string* error, std::size_t* error_offset) {
+  std::size_t line_offset = 0;  // byte offset of the current line in text
   const auto fail = [&](const std::string& msg) {
     if (error) *error = msg;
+    if (error_offset) *error_offset = line_offset;
     return false;
   };
   ExperimentConfig cfg;
   std::istringstream is(text);
   std::string line;
-  while (std::getline(is, line)) {
+  std::size_t raw_line_size = 0;  // pre-CR-strip size, for offset tracking
+  for (; std::getline(is, line);
+       line_offset += raw_line_size + 1 /* the consumed newline */) {
+    raw_line_size = line.size();
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     const auto eq = line.find('=');
@@ -419,30 +428,38 @@ void Sweep::load_checkpoint() {
   std::ifstream in(options_.checkpoint_path, std::ios::binary);
   if (!in) return;  // no checkpoint yet — fresh sweep
   std::string line;
+  std::size_t lineno = 0;
   std::size_t dropped = 0;
+  std::size_t first_bad = 0;
   while (std::getline(in, line)) {
     std::string key;
     TrialOutcome outcome;
-    if (outcome_from_json_line(line, &key, &outcome)) {
+    ++lineno;
+    if (parse_checkpoint_line(line, &key, &outcome)) {
       recorded_[key] = std::move(outcome);
       checkpoint_text_ += line;
       checkpoint_text_ += '\n';
     } else {
       // Typically the torn final line of a killed sweep; that trial simply
       // re-runs. The rewrite on the next record drops the debris.
+      if (dropped == 0) first_bad = lineno;
       ++dropped;
     }
   }
   if (dropped > 0) {
-    std::fprintf(stderr,
-                 "sweep: checkpoint %s: skipped %zu unparseable line(s) "
-                 "(torn by an interrupted run?)\n",
-                 options_.checkpoint_path.c_str(), dropped);
+    std::fprintf(
+        stderr,
+        "sweep: checkpoint %s: dropped %zu unparseable line(s), first at "
+        "line %zu%s — the affected trial(s) will re-run\n",
+        options_.checkpoint_path.c_str(), dropped, first_bad,
+        (dropped == 1 && first_bad == lineno)
+            ? " (the final line — torn by an interrupted run)"
+            : "");
   }
 }
 
 void Sweep::record(const std::string& key, const TrialOutcome& outcome) {
-  checkpoint_text_ += to_json_line(key, outcome);
+  checkpoint_text_ += checkpoint_line(key, outcome);
   checkpoint_text_ += '\n';
   // Atomic replace: a kill at any instant leaves either the previous file
   // or the new one, never a half-written state that would poison a resume.
@@ -648,6 +665,11 @@ int guarded_main(const std::function<int()>& body) {
   } catch (const AdversaryViolation& e) {
     std::fprintf(stderr, "adversary violation: %s\n", e.what());
     return 4;
+  } catch (const CorruptInputError& e) {
+    // Before PreconditionError: a corrupt *input file* is the operator's
+    // data gone bad, not a caller bug, and scripts branch on the code.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 5;
   } catch (const PreconditionError& e) {
     std::fprintf(stderr, "precondition failed: %s\n", e.what());
     return 2;

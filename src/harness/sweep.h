@@ -116,9 +116,12 @@ struct SweepOptions {
 std::string serialize_config(const ExperimentConfig& cfg);
 
 /// Parse serialize_config output ('#'-comment and blank lines ignored).
-/// On failure returns false and sets *error.
+/// On failure returns false, sets *error, and (when error_offset is
+/// non-null) the byte offset within `text` of the first bad line — CLI
+/// loaders report it so a truncated or hand-mangled file names the exact
+/// spot that went wrong.
 bool parse_config(const std::string& text, ExperimentConfig* out,
-                  std::string* error);
+                  std::string* error, std::size_t* error_offset = nullptr);
 
 /// FNV-1a over the canonical serialization, with fields that cannot change
 /// the trial's outcome (worker-lane count) canonicalized away.
@@ -126,6 +129,17 @@ std::uint64_t config_hash(const ExperimentConfig& cfg);
 
 /// config_hash as 16 hex digits — checkpoint key and repro file stem.
 std::string config_key(const ExperimentConfig& cfg);
+
+/// One checkpoint/shard line for an outcome: the JSONL record format shared
+/// by Sweep's checkpoint file and the farm's per-worker shards, so a farm's
+/// merged results are line-for-line comparable with a single-process
+/// sweep's checkpoint. No trailing newline.
+std::string checkpoint_line(const std::string& key, const TrialOutcome& o);
+
+/// Inverse of checkpoint_line. Returns false on any deviation (e.g. a line
+/// torn by kill -9); on success sets *key and *out (with from_checkpoint).
+bool parse_checkpoint_line(const std::string& line, std::string* key,
+                           TrialOutcome* out);
 
 class Sweep {
  public:
@@ -173,8 +187,9 @@ class Sweep {
 /// Top-level shell for every driver binary: runs `body` and converts an
 /// escaped engine exception into a message on stderr plus the documented
 /// exit code — precondition=2, invariant (incl. rng overdraft and any
-/// other unexpected exception)=3, adversary violation=4 — instead of
-/// std::terminate.
+/// other unexpected exception)=3, adversary violation=4, corrupt/unreadable
+/// input file (CorruptInputError, which names the file and the byte offset
+/// of the first bad record)=5 — instead of std::terminate.
 int guarded_main(const std::function<int()>& body);
 
 }  // namespace omx::harness

@@ -6,6 +6,7 @@
 // hold in every legal execution; OMX_REQUIRE for public-API preconditions.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -30,6 +31,30 @@ class InvariantError : public std::logic_error {
 class AdversaryViolation : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+/// Thrown when an *input file* (a .trace, a .repro, a cache entry handed to
+/// a CLI) is unreadable or fails validation. Derives from PreconditionError
+/// so existing "bad input throws" contracts keep holding, but carries the
+/// path and the byte offset of the first bad record so tools can report
+/// exactly where a file went wrong — and guarded_main maps it to its own
+/// exit code (5) distinct from a caller-bug precondition (2).
+class CorruptInputError : public PreconditionError {
+ public:
+  CorruptInputError(std::string path, std::uint64_t byte_offset,
+                    const std::string& detail)
+      : PreconditionError("corrupt input: " + path + ": " + detail +
+                          " (first bad record at byte offset " +
+                          std::to_string(byte_offset) + ")"),
+        path_(std::move(path)),
+        byte_offset_(byte_offset) {}
+
+  const std::string& path() const { return path_; }
+  std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  std::string path_;
+  std::uint64_t byte_offset_;
 };
 
 namespace detail {

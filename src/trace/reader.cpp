@@ -1,5 +1,6 @@
 #include "trace/reader.h"
 
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -16,21 +17,30 @@ struct FileCloser {
 };
 }  // namespace
 
+// Every validation failure throws CorruptInputError carrying the path and
+// the byte offset of the first bad record, so `omxtrace` reports exactly
+// where a file went wrong and exits with the corrupt-input code (5) instead
+// of a generic failure.
 TraceData read_trace(const std::string& path) {
   std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "rb"));
-  OMX_REQUIRE(file != nullptr, "trace: cannot open " + path);
+  if (file == nullptr) {
+    throw CorruptInputError(path, 0, "cannot open trace file");
+  }
 
   TraceData data;
-  OMX_REQUIRE(std::fread(&data.header, sizeof data.header, 1, file.get()) == 1,
-              "trace: " + path + " is too short to hold a trace header");
-  OMX_REQUIRE(
-      std::memcmp(data.header.magic, kMagic, sizeof kMagic) == 0,
-      "trace: " + path + " is not a trace file (bad magic)");
-  OMX_REQUIRE(data.header.version == kFormatVersion,
-              "trace: " + path + " has format version " +
-                  std::to_string(data.header.version) + ", expected " +
-                  std::to_string(kFormatVersion) +
-                  " (or the file was written on a different-endian machine)");
+  if (std::fread(&data.header, sizeof data.header, 1, file.get()) != 1) {
+    throw CorruptInputError(path, 0, "too short to hold a trace header");
+  }
+  if (std::memcmp(data.header.magic, kMagic, sizeof kMagic) != 0) {
+    throw CorruptInputError(path, 0, "not a trace file (bad magic)");
+  }
+  if (data.header.version != kFormatVersion) {
+    throw CorruptInputError(
+        path, offsetof(FileHeader, version),
+        "format version " + std::to_string(data.header.version) +
+            ", expected " + std::to_string(kFormatVersion) +
+            " (or the file was written on a different-endian machine)");
+  }
 
   // A tail that is not a whole record means the writer was killed without
   // unwinding (the destructor flushes even on engine exceptions) — refuse
@@ -42,8 +52,17 @@ TraceData read_trace(const std::string& path) {
   const long end = std::ftell(file.get());
   OMX_REQUIRE(end >= 0, "trace: cannot tell file size of " + path);
   const std::size_t body = static_cast<std::size_t>(end) - sizeof data.header;
-  OMX_REQUIRE(body % sizeof(Event) == 0,
-              "trace: " + path + " has a truncated trailing record");
+  if (body % sizeof(Event) != 0) {
+    // The offset names the start of the partial record: everything before
+    // it is intact data a salvage tool could keep.
+    const std::size_t whole = body / sizeof(Event);
+    throw CorruptInputError(path,
+                            sizeof data.header + whole * sizeof(Event),
+                            "truncated trailing record (" +
+                                std::to_string(body % sizeof(Event)) +
+                                " stray byte(s) after " +
+                                std::to_string(whole) + " whole record(s))");
+  }
   OMX_REQUIRE(std::fseek(file.get(), sizeof data.header, SEEK_SET) == 0,
               "trace: cannot seek in " + path);
 
@@ -59,9 +78,12 @@ TraceData read_trace(const std::string& path) {
             "trace: short read from " + path);
   for (std::size_t i = 0; i < data.events.size(); ++i) {
     const Event& e = data.events[i];
-    OMX_REQUIRE(e.kind >= 1 && e.kind <= kMaxKind,
-                "trace: " + path + ": record " + std::to_string(i) +
-                    " has unknown kind " + std::to_string(e.kind));
+    if (!(e.kind >= 1 && e.kind <= kMaxKind)) {
+      throw CorruptInputError(path, sizeof data.header + i * sizeof(Event),
+                              "record " + std::to_string(i) +
+                                  " has unknown kind " +
+                                  std::to_string(e.kind));
+    }
   }
   return data;
 }

@@ -1,0 +1,151 @@
+// The crash-consistent artifact cache: publish-by-rename durability,
+// checksum validation (torn write = miss, never a wrong answer), the graph
+// CSR / sqrt-partition blob codecs it stores, and the memoized shared_for
+// entry points that consult it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "farm/artifact_cache.h"
+#include "graph/comm_graph.h"
+#include "groups/partition.h"
+
+namespace omx::farm {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("omx_artifact_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(ArtifactCache, PutGetRoundTripsBytes) {
+  ArtifactCache cache(scratch("roundtrip").string());
+  const auto payload = bytes_of("forty-two bytes of extremely durable data");
+  ASSERT_TRUE(cache.put("graph-n64-d12", payload));
+
+  const auto blob = cache.get("graph-n64-d12");
+  ASSERT_TRUE(blob.has_value());
+  ASSERT_EQ(blob->bytes().size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         blob->bytes().begin()));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ArtifactCache, MissingKeyIsAMiss) {
+  ArtifactCache cache(scratch("missing").string());
+  EXPECT_FALSE(cache.get("never-put").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.corrupt_entries(), 0u);
+}
+
+TEST(ArtifactCache, BitFlippedEntryIsAMissAndIsUnlinked) {
+  const fs::path dir = scratch("bitflip");
+  ArtifactCache cache(dir.string());
+  ASSERT_TRUE(cache.put("k", bytes_of("payload that will be damaged")));
+  ASSERT_TRUE(cache.corrupt_entry_for_test("k"));
+
+  // The checksum catches the flip: miss, counted, and the debris is gone so
+  // the rebuilt artifact can be re-published.
+  EXPECT_FALSE(cache.get("k").has_value());
+  EXPECT_EQ(cache.corrupt_entries(), 1u);
+  EXPECT_TRUE(fs::is_empty(dir));
+
+  ASSERT_TRUE(cache.put("k", bytes_of("rebuilt")));
+  EXPECT_TRUE(cache.get("k").has_value());
+}
+
+TEST(ArtifactCache, TornHeaderOrPayloadIsAMiss) {
+  const fs::path dir = scratch("torn");
+  ArtifactCache cache(dir.string());
+
+  // Shorter than the 32-byte header: what a torn non-atomic write (which
+  // publish-by-rename prevents, but an operator's cp can produce) looks like.
+  { std::ofstream(dir / "short.art", std::ios::binary) << "xy"; }
+  EXPECT_FALSE(cache.get("short").has_value());
+
+  // Valid header, truncated payload.
+  ASSERT_TRUE(cache.put("cut", bytes_of("twelve bytes")));
+  fs::resize_file(dir / "cut.art", fs::file_size(dir / "cut.art") - 5);
+  EXPECT_FALSE(cache.get("cut").has_value());
+  EXPECT_GE(cache.corrupt_entries(), 2u);
+}
+
+TEST(ArtifactCache, ProcessCacheFollowsTheEnvironment) {
+  // Whatever OMX_ARTIFACT_CACHE held at first touch, the answer is stable
+  // for the process lifetime (workers inherit the daemon's setting by
+  // fork, so once-per-process is exactly the sharing the farm wants).
+  EXPECT_EQ(ArtifactCache::process_cache(), ArtifactCache::process_cache());
+}
+
+// ---------------------------------------------------------------------------
+// The blob codecs the cache stores.
+
+TEST(GraphBlob, CsrRoundTripsAndRejectsDamage) {
+  const auto delta = core::Params::practical().delta(49);
+  const graph::CommGraph g = graph::CommGraph::common_for(49, delta);
+  const std::vector<std::uint8_t> blob = g.to_csr_blob();
+
+  const auto back = graph::CommGraph::from_csr_blob(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->n(), g.n());
+  // Structural equality via the canonical serialization.
+  EXPECT_EQ(back->to_csr_blob(), blob);
+
+  // Truncations and garbage must be rejected (the checksum should have
+  // caught them first; the codec is the second line of defense).
+  EXPECT_FALSE(graph::CommGraph::from_csr_blob({}).has_value());
+  for (const std::size_t cut : {std::size_t{1}, blob.size() / 2,
+                                blob.size() - 1}) {
+    EXPECT_FALSE(graph::CommGraph::from_csr_blob(
+                     std::span(blob.data(), cut))
+                     .has_value())
+        << "accepted a blob truncated to " << cut << " bytes";
+  }
+  std::vector<std::uint8_t> mangled = blob;
+  mangled[16] ^= 0xFF;  // offsets[0], which must be 0
+  EXPECT_FALSE(graph::CommGraph::from_csr_blob(mangled).has_value());
+}
+
+TEST(PartitionBlob, DescriptorRoundTripsAndRevalidatesInvariants) {
+  const groups::SqrtPartition p(50);
+  const std::vector<std::uint8_t> blob = p.to_blob();
+
+  const auto back = groups::SqrtPartition::from_blob(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->n(), p.n());
+  EXPECT_EQ(back->num_groups(), p.num_groups());
+  EXPECT_EQ(back->max_group_size(), p.max_group_size());
+  EXPECT_EQ(back->group_of(49), p.group_of(49));
+
+  EXPECT_FALSE(groups::SqrtPartition::from_blob({}).has_value());
+  // A structurally well-formed blob whose fields violate the ceil-sqrt
+  // invariants is rejected, not trusted.
+  std::vector<std::uint8_t> mangled = blob;
+  mangled[4] ^= 0x01;  // width field
+  EXPECT_FALSE(groups::SqrtPartition::from_blob(mangled).has_value());
+}
+
+TEST(PartitionShared, MemoizesPerN) {
+  const auto a = groups::SqrtPartition::shared_for(36);
+  const auto b = groups::SqrtPartition::shared_for(36);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->n(), 36u);
+}
+
+}  // namespace
+}  // namespace omx::farm

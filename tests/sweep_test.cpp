@@ -88,6 +88,29 @@ TEST(ConfigSerialization, ParseIgnoresCommentsAndRejectsGarbage) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(ConfigSerialization, ParseReportsByteOffsetOfFirstBadLine) {
+  ExperimentConfig cfg;
+  std::string err;
+  std::size_t off = 99;
+  EXPECT_TRUE(parse_config("n=16\n", &cfg, &err, &off));
+
+  // Two good lines (13 + 12 bytes including newlines), then debris.
+  EXPECT_FALSE(
+      parse_config("algo=optimal\nattack=none\nbogus line\n", &cfg, &err, &off));
+  EXPECT_EQ(off, 25u);
+
+  // Offsets count raw bytes: CRLF line endings include the CR.
+  EXPECT_FALSE(parse_config("algo=optimal\r\nbogus\r\n", &cfg, &err, &off));
+  EXPECT_EQ(off, 14u);
+
+  // A bad *value* points at its line, not at the start of the file.
+  EXPECT_FALSE(parse_config("n=16\nalgo=quantum\n", &cfg, &err, &off));
+  EXPECT_EQ(off, 5u);
+
+  // The offset parameter stays optional for callers that only want yes/no.
+  EXPECT_FALSE(parse_config("bogus\n", &cfg, &err));
+}
+
 TEST(ConfigHash, IgnoresWorkerLaneCountButNotSeeds) {
   ExperimentConfig a = tiny_config(7);
   ExperimentConfig b = a;
@@ -266,6 +289,64 @@ TEST(SweepCheckpoint, InterruptedSweepResumesToByteIdenticalResults) {
   EXPECT_EQ(slurp(cut_opts.checkpoint_path), reference);
 }
 
+TEST(SweepCheckpoint, CheckpointLineRoundTripsAndRejectsTornPrefixes) {
+  Sweep sweep{SweepOptions{}};
+  const TrialOutcome outcome = sweep.run(tiny_config(3));
+  const std::string key = config_key(tiny_config(3));
+  const std::string line = checkpoint_line(key, outcome);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  std::string back_key;
+  TrialOutcome back;
+  ASSERT_TRUE(parse_checkpoint_line(line, &back_key, &back));
+  EXPECT_EQ(back_key, key);
+  EXPECT_TRUE(back.from_checkpoint);
+  EXPECT_EQ(back.verdict, outcome.verdict);
+  EXPECT_EQ(back.seed_used, outcome.seed_used);
+  EXPECT_EQ(back.result.time_rounds, outcome.result.time_rounds);
+  EXPECT_EQ(back.result.metrics.messages, outcome.result.metrics.messages);
+  // Canonical: a replayed outcome re-serializes to the identical line (the
+  // farm's shard merge and the checkpoint's byte-identity both lean on it).
+  EXPECT_EQ(checkpoint_line(back_key, back), line);
+
+  // Every proper prefix is what a kill -9 mid-write can leave behind; none
+  // may parse (a half-line must burn the lease, never fake a result).
+  for (std::size_t cut = 0; cut < line.size(); cut += 7) {
+    EXPECT_FALSE(parse_checkpoint_line(line.substr(0, cut), &back_key, &back))
+        << "prefix of length " << cut << " parsed";
+  }
+}
+
+TEST(SweepCheckpoint, TornLineWarningNamesTheFinalLine) {
+  // A checkpoint whose *final* line is torn is the expected kill -9
+  // artifact; the loader must drop exactly that line, say so, and re-run
+  // only the affected trial.
+  const fs::path dir = scratch("torn_tail");
+  SweepOptions ref_opts;
+  ref_opts.checkpoint_path = (dir / "ref.jsonl").string();
+  {
+    Sweep sweep(ref_opts);
+    for (std::uint64_t s = 1; s <= 3; ++s) sweep.run(tiny_config(s));
+  }
+  const std::string reference = slurp(ref_opts.checkpoint_path);
+
+  // Truncate mid-way through the last line (no trailing newline).
+  SweepOptions torn_opts;
+  torn_opts.checkpoint_path = (dir / "torn.jsonl").string();
+  {
+    const std::size_t last_nl = reference.find_last_of('\n', reference.size() - 2);
+    ASSERT_NE(last_nl, std::string::npos);
+    std::ofstream out(torn_opts.checkpoint_path, std::ios::binary);
+    out << reference.substr(0, last_nl + 1 + 10);
+  }
+
+  Sweep resumed(torn_opts);
+  for (std::uint64_t s = 1; s <= 3; ++s) resumed.run(tiny_config(s));
+  EXPECT_EQ(resumed.resumed(), 2u);   // the torn third line did not resume
+  EXPECT_EQ(resumed.trials(), 3u);
+  EXPECT_EQ(slurp(torn_opts.checkpoint_path), reference);
+}
+
 // ---------------------------------------------------------------------------
 // Repro capture.
 
@@ -359,6 +440,22 @@ TEST(GuardedMain, MapsEachFailureClassToItsExitCode) {
   EXPECT_EQ(guarded_main([]() -> int { throw AdversaryViolation("a"); }), 4);
   EXPECT_EQ(guarded_main([]() -> int { throw rng::BudgetExhausted("b"); }), 3);
   EXPECT_EQ(guarded_main([]() -> int { throw std::runtime_error("r"); }), 3);
+  // Corrupt input is its own class (5), even though it is-a
+  // PreconditionError so legacy EXPECT_THROW call sites keep passing.
+  EXPECT_EQ(guarded_main([]() -> int {
+              throw CorruptInputError("f.trace", 7, "bad");
+            }),
+            5);
+}
+
+TEST(GuardedMain, CorruptInputErrorCarriesPathAndOffset) {
+  const CorruptInputError e("data/run.trace", 4096, "truncated record");
+  EXPECT_EQ(e.path(), "data/run.trace");
+  EXPECT_EQ(e.byte_offset(), 4096u);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("data/run.trace"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset 4096"), std::string::npos) << what;
+  EXPECT_NE(what.find("truncated record"), std::string::npos) << what;
 }
 
 }  // namespace

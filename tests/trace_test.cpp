@@ -128,7 +128,15 @@ class TraceMetricsCrossCheck : public ::testing::TestWithParam<MatrixCase> {};
 
 TEST_P(TraceMetricsCrossCheck, TotalsEqualEngineMetrics) {
   const MatrixCase& mc = GetParam();
-  const fs::path path = scratch("crosscheck") / "x.trace";
+  // One scratch dir per case: ctest runs the parameterized cases as separate
+  // concurrent processes, and scratch() starts by wiping its directory.
+  std::string case_dir = std::string("crosscheck_") +
+                         harness::to_string(mc.algo) + "_" +
+                         harness::to_string(mc.attack);
+  for (char& c : case_dir) {
+    if (c == '-') c = '_';
+  }
+  const fs::path path = scratch(case_dir) / "x.trace";
   harness::ExperimentConfig cfg;
   cfg.algo = mc.algo;
   cfg.attack = mc.attack;

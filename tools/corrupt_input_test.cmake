@@ -1,0 +1,53 @@
+# ctest driver for the corrupt-input failure class (exit code 5):
+#   omxtrace stats on a non-trace file    -> exit 5, names file + offset 0
+#   omxsim --repro on a mangled capture   -> exit 5, names the bad line's
+#                                            exact byte offset
+#   omxsim --repro on a missing file      -> exit 5
+# The taxonomy point: corrupt *input* is distinct from a bad config
+# (precondition, 2) and from an engine bug (invariant, 3) — a monitoring
+# wrapper can tell "my artifact store is rotting" apart from "the model is
+# wrong". Invoked as: cmake -DOMXSIM=... -DOMXTRACE=... -DWORK_DIR=... -P
+foreach(var OMXSIM OMXTRACE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# expect_corrupt(<needle...> COMMAND <cmd...>): run, demand exit 5 and that
+# stderr mentions every needle.
+function(expect_corrupt)
+  cmake_parse_arguments(EC "" "" "COMMAND;NEEDLES" ${ARGN})
+  execute_process(COMMAND ${EC_COMMAND}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 5)
+    message(FATAL_ERROR "expected exit 5, got ${rc}: ${EC_COMMAND}\n${err}")
+  endif()
+  foreach(needle ${EC_NEEDLES})
+    if(NOT err MATCHES "${needle}")
+      message(FATAL_ERROR
+              "stderr missing '${needle}' for: ${EC_COMMAND}\n${err}")
+    endif()
+  endforeach()
+endfunction()
+
+# A file that is not a trace at all: bad magic, first bad record at byte 0.
+file(WRITE "${WORK_DIR}/garbage.trace" "this is not a trace file at all\n")
+expect_corrupt(COMMAND ${OMXTRACE} stats "${WORK_DIR}/garbage.trace"
+               NEEDLES "garbage.trace" "byte offset 0")
+
+# A mangled repro capture: two good lines (13 + 12 bytes), then debris —
+# the message must name byte offset 25 exactly.
+file(WRITE "${WORK_DIR}/bad.repro"
+     "algo=optimal\nattack=none\nthis-line-has-no-equals\n")
+expect_corrupt(COMMAND ${OMXSIM} --repro "${WORK_DIR}/bad.repro"
+               NEEDLES "bad.repro" "byte offset 25")
+
+expect_corrupt(COMMAND ${OMXSIM} --repro "${WORK_DIR}/does-not-exist.repro"
+               NEEDLES "does-not-exist.repro" "cannot open")
+
+message(STATUS "corrupt-input taxonomy OK")

@@ -1,0 +1,280 @@
+// omxfarm — fork-isolated, crash-safe distributed sweep farm.
+//
+//   omxfarm run    --dir farm --algo optimal --attack chaos \
+//                  --n 64,128,256 --seeds 25 --workers 4 --watchdog-ms 60000
+//   omxfarm status  --dir farm          # query a running daemon's socket
+//   omxfarm results --dir farm          # live merged view over the socket
+//   omxfarm merge   --dir farm          # offline shard merge (no daemon)
+//   omxfarm warm    --dir farm --n 64,128,256   # pre-build cached artifacts
+//
+// `run` expands the sweep grid (each --n × each seed) into config-hash-keyed
+// work items and drives them through farm::Farm: every item runs in a
+// fork(2)'d worker whose exit code carries the PR 4 verdict taxonomy
+// (0 recorded, 2/3/4 recorded model violations, signal = crash → re-lease
+// with backoff). Workers append durable JSONL lines to per-slot shards;
+// `kill -9` of any worker — or of the daemon itself — loses nothing but the
+// in-flight trials, and a re-run `omxfarm run` with the same flags resumes
+// from the shards and converges to a merged.jsonl byte-identical (after the
+// canonical key sort) to an uninterrupted run's, and to a single-process
+// `omxsim --checkpoint` sweep of the same grid.
+//
+// Exit codes: 0 = every item recorded with verdict ok; 1 = some recorded
+// trial failed its verdict or spec; 2 = bad usage / precondition;
+// 7 = retry budget exhausted for at least one item (synthetic outcome
+// recorded so merged.jsonl still covers the full grid).
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "farm/artifact_cache.h"
+#include "farm/farm.h"
+#include "farm/shard.h"
+#include "graph/comm_graph.h"
+#include "groups/partition.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "support/check.h"
+#include "support/cli.h"
+
+using namespace omx;
+
+namespace {
+
+std::vector<std::uint32_t> parse_n_list(const std::string& text) {
+  std::vector<std::uint32_t> out;
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (part.empty()) continue;
+    const long v = std::strtol(part.c_str(), nullptr, 10);
+    OMX_REQUIRE(v >= 1, "bad --n entry: " + part);
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  OMX_REQUIRE(!out.empty(), "--n needs at least one value");
+  return out;
+}
+
+void add_grid_flags(ArgParser* args) {
+  args->add_option("algo", "optimal", "optimal | param | floodset | benor");
+  args->add_option("attack", "none",
+                   "none | crash | rand-omit | send-omit | split-brain | "
+                   "group-killer | coin-hiding | chaos");
+  args->add_option("n", "128", "comma-separated process counts");
+  args->add_option("t", "-1", "fault budget (-1 = per-n max for the algo)");
+  args->add_option("x", "4", "super-process count (param only)");
+  args->add_option("inputs", "random",
+                   "all-0 | all-1 | half | random | one-dissent | alternating");
+  args->add_option("seed", "1", "first master seed");
+  args->add_option("seeds", "1", "seeds per n");
+  args->add_option("budget", "-1", "random-bit budget (-1 = unlimited)");
+  args->add_option("drop-prob", "0.8", "drop probability for rand-omit");
+  args->add_option("params", "practical", "practical | paper constants");
+  args->add_flag("packed", "word-packed knowledge views (floodset/benor)");
+  args->add_flag("streamed", "streamed delivery (floodset/benor)");
+}
+
+/// Expand the grid flags into configs, mirroring omxsim's per-n t rule.
+std::vector<harness::ExperimentConfig> expand_grid(const ArgParser& args) {
+  harness::ExperimentConfig base;
+  OMX_REQUIRE(harness::algo_from_string(args.get("algo"), &base.algo) &&
+                  harness::attack_from_string(args.get("attack"),
+                                              &base.attack) &&
+                  harness::inputs_from_string(args.get("inputs"), &base.inputs),
+              "bad algo/attack/inputs value");
+  base.x = static_cast<std::uint32_t>(args.get_int("x"));
+  base.drop_prob = args.get_double("drop-prob");
+  if (args.get("params") == "paper") base.params = core::Params::paper();
+  const auto budget = args.get_int("budget");
+  if (budget >= 0) {
+    base.random_bit_budget = static_cast<std::uint64_t>(budget);
+  }
+  base.packed = args.flag("packed");
+  base.streamed = args.flag("streamed");
+
+  const auto t_flag = args.get_int("t");
+  const auto first_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto num_seeds = static_cast<std::uint64_t>(args.get_int("seeds"));
+  OMX_REQUIRE(num_seeds >= 1, "--seeds must be >= 1");
+
+  std::vector<harness::ExperimentConfig> grid;
+  for (const std::uint32_t n : parse_n_list(args.get("n"))) {
+    harness::ExperimentConfig cfg = base;
+    cfg.n = n;
+    cfg.t = t_flag >= 0 ? static_cast<std::uint32_t>(t_flag)
+                        : (cfg.algo == harness::Algo::Param
+                               ? core::Params::max_t_param(n)
+                               : core::Params::max_t_optimal(n));
+    for (std::uint64_t s = 0; s < num_seeds; ++s) {
+      cfg.seed = first_seed + s;
+      grid.push_back(cfg);
+    }
+  }
+  return grid;
+}
+
+int cmd_run(int argc, char** argv) {
+  ArgParser args("omxfarm run", "run a sweep grid under the farm daemon");
+  args.add_option("dir", "farm", "farm state directory");
+  args.add_option("workers", "4", "concurrent fork-isolated workers");
+  args.add_option("watchdog-ms", "0",
+                  "lease watchdog: SIGKILL a worker past this deadline "
+                  "(0 = none)");
+  args.add_option("farm-retries", "2",
+                  "extra leases per item after a crash/hang (0 = none)");
+  args.add_option("backoff-ms", "100", "base re-lease backoff (doubles)");
+  args.add_option("deadline-ms", "0",
+                  "cooperative per-trial deadline inside the worker");
+  args.add_option("retries", "0",
+                  "in-worker extra attempts (perturbed seed) for timed-out "
+                  "trials — same semantics as omxsim --retries");
+  args.add_option("repro-dir", "", "directory for crash-repro captures "
+                  "(default <dir>/repro)");
+  args.add_flag("no-socket", "do not serve <dir>/farm.sock");
+  args.add_flag("no-cache", "do not point OMX_ARTIFACT_CACHE at <dir>/cache");
+  add_grid_flags(&args);
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(),
+                 args.usage().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+
+  farm::FarmOptions opts;
+  opts.dir = args.get("dir");
+  opts.workers = static_cast<int>(args.get_int("workers"));
+  opts.watchdog_ms = static_cast<std::uint64_t>(args.get_int("watchdog-ms"));
+  opts.max_attempts =
+      1 + static_cast<std::uint32_t>(args.get_int("farm-retries"));
+  opts.backoff_base_ms =
+      static_cast<std::uint64_t>(args.get_int("backoff-ms"));
+  opts.serve_socket = !args.flag("no-socket");
+  opts.use_artifact_cache = !args.flag("no-cache");
+  opts.sweep.repro_dir = args.get("repro-dir").empty()
+                             ? opts.dir + "/repro"
+                             : args.get("repro-dir");
+  if (args.get_int("deadline-ms") > 0) {
+    opts.sweep.trial_deadline_ms =
+        static_cast<std::uint64_t>(args.get_int("deadline-ms"));
+  }
+  if (args.get_int("retries") > 0) {
+    opts.sweep.max_attempts =
+        1 + static_cast<std::uint32_t>(args.get_int("retries"));
+  }
+
+  farm::Farm daemon(opts);
+  for (const auto& cfg : expand_grid(args)) daemon.add(cfg);
+
+  const farm::FarmReport report = daemon.run();
+  std::fprintf(stderr,
+               "farm: %zu items: %zu run, %zu resumed, %zu exhausted; "
+               "%llu re-leases (%zu crashes, %zu watchdog kills), "
+               "%zu torn shard line(s)\n",
+               report.items, report.done, report.resumed, report.failed,
+               static_cast<unsigned long long>(report.releases),
+               report.crashed_workers, report.watchdog_kills,
+               report.torn_shard_lines);
+  std::printf("%s\n", report.merged_path.c_str());
+  if (!report.all_ok()) return 7;
+  // Recorded-but-failed trials (verdict != ok, or spec NO) exit 1, like a
+  // failed omxsim sweep; the histogram tells the classes apart.
+  for (const auto& [code, count] : report.exit_codes) {
+    if (code != 0 && count > 0) return 1;
+  }
+  return 0;
+}
+
+int cmd_query(int argc, char** argv, const std::string& request) {
+  ArgParser args("omxfarm " + request, "query a running farm daemon");
+  args.add_option("dir", "farm", "farm state directory");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(),
+                 args.usage().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  const std::string response = farm::Farm::query(args.get("dir"), request);
+  std::fputs(response.c_str(), stdout);
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  ArgParser args("omxfarm merge",
+                 "merge <dir>/shards into <dir>/merged.jsonl offline");
+  args.add_option("dir", "farm", "farm state directory");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(),
+                 args.usage().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  const std::string dir = args.get("dir");
+  const farm::ShardScan scan =
+      farm::merge_shards(dir + "/shards", dir + "/merged.jsonl");
+  std::fprintf(stderr, "merged %zu line(s) (%zu torn dropped, %zu duplicate "
+               "key(s) collapsed)\n",
+               scan.lines.size(), scan.torn_lines, scan.duplicate_keys);
+  std::printf("%s/merged.jsonl\n", dir.c_str());
+  return 0;
+}
+
+int cmd_warm(int argc, char** argv) {
+  ArgParser args("omxfarm warm",
+                 "pre-build the per-n artifacts (comm graph CSR, sqrt-n "
+                 "partition) into <dir>/cache so a cold farm starts hot");
+  args.add_option("dir", "farm", "farm state directory");
+  args.add_option("n", "128", "comma-separated process counts");
+  args.add_option("params", "practical", "practical | paper constants");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(),
+                 args.usage().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  ::setenv("OMX_ARTIFACT_CACHE", (args.get("dir") + "/cache").c_str(), 0);
+  const core::Params params = args.get("params") == "paper"
+                                  ? core::Params::paper()
+                                  : core::Params::practical();
+  for (const std::uint32_t n : parse_n_list(args.get("n"))) {
+    (void)graph::CommGraph::common_for_shared(n, params.delta(n));
+    (void)groups::SqrtPartition::shared_for(n);
+    std::fprintf(stderr, "warmed n=%u (delta=%u)\n", n, params.delta(n));
+  }
+  return 0;
+}
+
+int run_main(int argc, char** argv) {
+  const std::string cmd = argc >= 2 ? argv[1] : "";
+  // Re-point argv[1] at the program name so ArgParser sees `omxfarm <cmd>`
+  // plus only the flags.
+  if (cmd == "run") return cmd_run(argc - 1, argv + 1);
+  if (cmd == "status") return cmd_query(argc - 1, argv + 1, "status");
+  if (cmd == "results") return cmd_query(argc - 1, argv + 1, "results");
+  if (cmd == "merge") return cmd_merge(argc - 1, argv + 1);
+  if (cmd == "warm") return cmd_warm(argc - 1, argv + 1);
+  std::fprintf(stderr,
+               "usage: omxfarm <run|status|results|merge|warm> [flags]\n"
+               "       omxfarm <cmd> --help for per-command flags\n");
+  return cmd.empty() || cmd == "--help" || cmd == "-h" ? (cmd.empty() ? 2 : 0)
+                                                       : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return harness::guarded_main([&] { return run_main(argc, argv); });
+}

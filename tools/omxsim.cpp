@@ -16,7 +16,9 @@
 // are persisted and a re-run resumes where the previous one was killed.
 // --repro replays a captured config *outside* the isolation shell, so the
 // original failure surfaces with its class-specific exit code:
-// precondition=2, invariant=3, adversary violation=4.
+// precondition=2, invariant=3, adversary violation=4. An unreadable or
+// corrupt .repro file is its own failure class — exit code 5, with a
+// message naming the file and the byte offset of the first bad line.
 //
 // --trace writes a binary event trace per run (`omxtrace stats|dump|diff`
 // analyzes it); combined with --repro it re-traces the captured failure.
@@ -32,6 +34,7 @@
 #include "harness/experiment.h"
 #include "harness/sweep.h"
 #include "rng/ledger.h"
+#include "support/check.h"
 #include "support/cli.h"
 
 using namespace omx;
@@ -49,17 +52,17 @@ int exit_code_for(const std::map<harness::Verdict, std::uint64_t>& counts) {
 int replay_repro(const std::string& path, const std::string& trace_path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "error: cannot open repro file %s\n", path.c_str());
-    return 2;
+    throw CorruptInputError(path, 0, "cannot open repro file");
   }
   std::ostringstream text;
   text << in.rdbuf();
   harness::ExperimentConfig cfg;
   std::string err;
-  if (!harness::parse_config(text.str(), &cfg, &err)) {
-    std::fprintf(stderr, "error: bad repro file %s: %s\n", path.c_str(),
-                 err.c_str());
-    return 2;
+  std::size_t bad_offset = 0;
+  if (!harness::parse_config(text.str(), &cfg, &err, &bad_offset)) {
+    // Exit code 5 via guarded_main, with the byte offset of the first bad
+    // line — a truncated or hand-mangled capture names the exact spot.
+    throw CorruptInputError(path, bad_offset, "bad repro file: " + err);
   }
   if (!trace_path.empty()) cfg.trace_path = trace_path;
   std::fprintf(stderr, "replaying %s: algo=%s attack=%s n=%u t=%u seed=%llu\n",

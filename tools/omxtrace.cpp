@@ -13,8 +13,10 @@
 // the first divergent event when they are not, making it the determinism
 // debugger for the parallel computation phase.
 //
-// A missing, foreign or truncated file is a PreconditionError (exit 2 via
-// guarded_main); an unknown subcommand prints the valid subcommand list.
+// A missing, foreign or truncated trace is a CorruptInputError — exit 5
+// via guarded_main, with a message naming the file and the byte offset of
+// the first bad record. An unknown subcommand prints the valid subcommand
+// list (exit 2).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
