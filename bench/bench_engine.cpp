@@ -5,6 +5,8 @@
 // directory (see EXPERIMENTS.md for how the numbers are regenerated).
 //
 //   bench_engine [out.json] [--threads 1,2,4,8]
+//   bench_engine --speedup-gate T1,T2[,min]   # CI: flood n=1024 must be
+//                                             # min-x faster at T2 lanes
 //
 // The thread sweep defaults to {1,2,4,8} filtered to the lanes this host
 // actually has; an explicit --threads list that exceeds
@@ -43,6 +45,7 @@ struct Workload {
   int reps;
   bool packed = false;
   bool streamed = false;
+  bool pipeline = false;
 };
 
 struct Sample {
@@ -65,6 +68,7 @@ Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
     cfg.threads = threads;
     cfg.packed = w.packed;
     cfg.streamed = w.streamed;
+    cfg.pipeline = w.pipeline;
     cfg.trace_path = trace_path;
     omx::sim::EngineStats stats;
     cfg.engine_stats = &stats;
@@ -74,9 +78,10 @@ Sample run_workload(omx::harness::Sweep& sweep, const Workload& w,
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     std::printf("  %-36s x%u rep %d: %9.1f ms  (compute %6.0f | adversary "
-                "%6.0f | delivery %6.0f)\n",
+                "%6.0f | delivery %6.0f | fused %6.0f)\n",
                 w.name, threads, rep, ms, stats.compute_ns / 1e6,
-                stats.adversary_ns / 1e6, stats.delivery_ns / 1e6);
+                stats.adversary_ns / 1e6, stats.delivery_ns / 1e6,
+                stats.fused_ns / 1e6);
     std::fflush(stdout);
     if (ms < best.wall_ms) {
       best.wall_ms = ms;
@@ -96,8 +101,34 @@ int run_bench(int argc, char** argv) {
   const char* out_path = "BENCH_engine.json";
   std::vector<unsigned> sweep_threads;
   bool explicit_threads = false;
+  // --speedup-gate T1,T2[,min]: CI mode. Run the flood-heavy n=1024 legacy
+  // workload at T1 and T2 lanes and exit nonzero unless wall(T1)/wall(T2)
+  // >= min (default 1.0, i.e. "T2 lanes must not be slower"). Skips the
+  // full bench and writes no JSON.
+  bool gate_mode = false;
+  unsigned gate_t1 = 1, gate_t2 = 4;
+  double gate_min = 1.0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+    if (std::strcmp(argv[i], "--speedup-gate") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --speedup-gate needs T1,T2[,min], "
+                             "e.g. --speedup-gate 1,4,1.2\n");
+        return 1;
+      }
+      gate_mode = true;
+      double min = 1.0;
+      unsigned long t1 = 0, t2 = 0;
+      const std::string spec = argv[++i];
+      const int got = std::sscanf(spec.c_str(), "%lu,%lu,%lf", &t1, &t2, &min);
+      if (got < 2 || t1 == 0 || t2 == 0) {
+        std::fprintf(stderr, "error: bad --speedup-gate spec '%s'\n",
+                     spec.c_str());
+        return 1;
+      }
+      gate_t1 = static_cast<unsigned>(t1);
+      gate_t2 = static_cast<unsigned>(t2);
+      if (got >= 3) gate_min = min;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --threads needs a comma-separated "
                              "list, e.g. --threads 1,2,4\n");
@@ -148,6 +179,35 @@ int run_bench(int argc, char** argv) {
                     v, hw, hw == 1 ? "" : "s");
       }
     }
+  }
+
+  if (gate_mode) {
+    if (gate_t1 > hw || gate_t2 > hw) {
+      std::fprintf(stderr,
+                   "error: --speedup-gate %u,%u exceeds this host's %u "
+                   "hardware thread%s\n",
+                   gate_t1, gate_t2, hw, hw == 1 ? "" : "s");
+      return 1;
+    }
+    omx::harness::Sweep gate_trials;
+    const Workload w = {"floodset/rand-omit/1024",
+                        omx::harness::Algo::FloodSet,
+                        omx::harness::Attack::RandomOmission, 1024, 3};
+    const Sample a = run_workload(gate_trials, w, gate_t1);
+    const Sample b = run_workload(gate_trials, w, gate_t2);
+    const double speedup = a.wall_ms / (b.wall_ms > 0 ? b.wall_ms : 1);
+    std::printf("speedup gate: %s at %u vs %u lanes: %.1f ms -> %.1f ms "
+                "(%.2fx, need >= %.2fx)\n",
+                w.name, gate_t1, gate_t2, a.wall_ms, b.wall_ms, speedup,
+                gate_min);
+    if (speedup < gate_min) {
+      std::fprintf(stderr,
+                   "speedup gate FAILED: %.2fx < %.2fx — %u lanes did not "
+                   "pay for themselves on the flood-heavy workload\n",
+                   speedup, gate_min, gate_t2);
+      return 1;
+    }
+    return 0;
   }
 
   omx::harness::Sweep trials;
@@ -231,15 +291,25 @@ int run_bench(int argc, char** argv) {
   }
   json += "\n  ],\n  \"thread_sweep\": [\n";
 
-  // Thread-scaling sweep: the sharded computation phase across the chosen
-  // lane counts. stage/merge split the parallel compute phase;
-  // parallel_rounds counts rounds that actually took the sharded path (all
-  // of them, for unlimited rng budgets).
+  // Thread-scaling sweep: every engine phase across the chosen lane counts.
+  // stage/merge split the parallel compute phase (merge is the stitch +
+  // rack reduction + seal); fused_ms covers pipelined delivery+compute
+  // rounds; lane_busy_ms is the pool's per-lane busy time over the run, so
+  // shard imbalance is visible straight from the JSON. parallel_rounds
+  // counts rounds that actually took the sharded path (all of them, for
+  // unlimited rng budgets). The /pipeline rows rerun the flood workloads
+  // with round fusion on — identical metrics, different schedule.
   const std::vector<Workload> sweep = {
       {"floodset/none/256", omx::harness::Algo::FloodSet,
        omx::harness::Attack::None, 256, 3},
       {"floodset/none/1024", omx::harness::Algo::FloodSet,
        omx::harness::Attack::None, 1024, 2},
+      {"floodset/none/1024/pipeline", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::None, 1024, 2, /*packed=*/false,
+       /*streamed=*/false, /*pipeline=*/true},
+      {"floodset/rand-omit/1024/pipeline", omx::harness::Algo::FloodSet,
+       omx::harness::Attack::RandomOmission, 1024, 2, /*packed=*/false,
+       /*streamed=*/false, /*pipeline=*/true},
       {"optimal/none/256", omx::harness::Algo::Optimal,
        omx::harness::Attack::None, 256, 3},
       {"optimal/none/1024", omx::harness::Algo::Optimal,
@@ -249,20 +319,31 @@ int run_bench(int argc, char** argv) {
   for (const auto& w : sweep) {
     for (const unsigned threads : sweep_threads) {
       const Sample s = run_workload(trials, w, threads);
+      std::string lanes_json = "[";
+      for (std::size_t i = 0; i < s.stats.lane_busy_ns.size(); ++i) {
+        char lane_buf[32];
+        std::snprintf(lane_buf, sizeof(lane_buf), "%s%.1f", i ? ", " : "",
+                      s.stats.lane_busy_ns[i] / 1e6);
+        lanes_json += lane_buf;
+      }
+      lanes_json += "]";
       char buf[1024];
       std::snprintf(
           buf, sizeof(buf),
           "%s    {\"name\": \"%s\", \"n\": %u, \"threads\": %u, "
           "\"wall_ms\": %.1f, \"compute_ms\": %.1f, \"stage_ms\": %.1f, "
           "\"merge_ms\": %.1f, \"adversary_ms\": %.1f, "
-          "\"delivery_ms\": %.1f, \"parallel_rounds\": %llu, "
-          "\"rounds\": %llu}",
+          "\"delivery_ms\": %.1f, \"fused_ms\": %.1f, "
+          "\"parallel_rounds\": %llu, \"pipelined_rounds\": %llu, "
+          "\"rounds\": %llu, \"lane_busy_ms\": %s}",
           first ? "" : ",\n", w.name, w.n, threads, s.wall_ms,
           s.stats.compute_ns / 1e6, s.stats.stage_ns / 1e6,
           s.stats.merge_ns / 1e6, s.stats.adversary_ns / 1e6,
-          s.stats.delivery_ns / 1e6,
+          s.stats.delivery_ns / 1e6, s.stats.fused_ns / 1e6,
           static_cast<unsigned long long>(s.stats.parallel_rounds),
-          static_cast<unsigned long long>(s.stats.rounds));
+          static_cast<unsigned long long>(s.stats.pipelined_rounds),
+          static_cast<unsigned long long>(s.stats.rounds),
+          lanes_json.c_str());
       json += buf;
       first = false;
     }

@@ -53,15 +53,18 @@ class StaticCrashAdversary final : public sim::Adversary<P> {
       : schedule_(std::move(schedule)) {}
 
   void intervene(sim::AdversaryContext<P>& ctx) override {
+    due_.clear();
     for (const Crash& c : schedule_) {
       if (ctx.round() >= c.round && ctx.corrupt(c.process)) {
-        ctx.silence(c.process);
+        due_.push_back(c.process);
       }
     }
+    ctx.silence_many(due_);
   }
 
  private:
   std::vector<Crash> schedule_;
+  std::vector<sim::ProcessId> due_;
 };
 
 /// Which side of a faulty process's links the adversary attacks. The paper
@@ -92,20 +95,22 @@ class RandomOmissionAdversary final : public sim::Adversary<P> {
       for (auto p : faulty_) ctx.corrupt(p);
       corrupted_done_ = true;
     }
-    const std::size_t mm = ctx.num_messages();
-    for (std::size_t i = 0; i < mm; ++i) {
-      const sim::ProcessId from = ctx.from(i);
-      const sim::ProcessId to = ctx.to(i);
-      if (from == to) continue;
-      const bool attackable =
-          mode_ == OmissionMode::General
-              ? (ctx.is_corrupted(from) || ctx.is_corrupted(to))
-              : (mode_ == OmissionMode::SendOnly ? ctx.is_corrupted(from)
-                                                 : ctx.is_corrupted(to));
-      if (attackable && gen_.bernoulli(drop_prob_)) {
-        ctx.drop(i);
-      }
-    }
+    // Sharded candidate scan + serial coin consumption: the bernoulli
+    // stream is drawn per *attackable* message in ascending index order,
+    // exactly as the old serial loop did, at every thread count.
+    const OmissionMode mode = mode_;
+    ctx.scan_messages(
+        [&ctx, mode](sim::ProcessId from, sim::ProcessId to) {
+          if (from == to) return false;
+          return mode == OmissionMode::General
+                     ? (ctx.is_corrupted(from) || ctx.is_corrupted(to))
+                     : (mode == OmissionMode::SendOnly
+                            ? ctx.is_corrupted(from)
+                            : ctx.is_corrupted(to));
+        },
+        [&](std::size_t i, sim::ProcessId, sim::ProcessId) {
+          if (gen_.bernoulli(drop_prob_)) ctx.drop(i);
+        });
   }
 
  private:
@@ -129,18 +134,12 @@ class SplitBrainAdversary final : public sim::Adversary<P> {
       for (auto p : faulty_) ctx.corrupt(p);
       corrupted_done_ = true;
     }
-    const std::size_t mm = ctx.num_messages();
-    for (std::size_t i = 0; i < mm; ++i) {
-      const sim::ProcessId from = ctx.from(i);
-      const sim::ProcessId to = ctx.to(i);
-      if (from == to) continue;
-      const bool from_bad = ctx.is_corrupted(from);
-      const bool to_bad = ctx.is_corrupted(to);
-      if (!from_bad && !to_bad) continue;
-      // Corrupted endpoints talk only to/fro the lower half.
-      if (from_bad && to >= half_) ctx.drop(i);
-      else if (to_bad && from >= half_ && !ctx.dropped(i)) ctx.drop(i);
-    }
+    // Corrupted endpoints talk only to/fro the lower half.
+    const std::uint32_t half = half_;
+    ctx.drop_where([&ctx, half](sim::ProcessId from, sim::ProcessId to) {
+      return (ctx.is_corrupted(from) && to >= half) ||
+             (ctx.is_corrupted(to) && from >= half);
+    });
   }
 
  private:
@@ -166,12 +165,9 @@ class StarveReceiversAdversary final : public sim::Adversary<P> {
       for (auto p : victims_) ctx.corrupt(p);
       corrupted_done_ = true;
     }
-    const std::size_t mm = ctx.num_messages();
-    for (std::size_t i = 0; i < mm; ++i) {
-      if (ctx.from(i) != ctx.to(i) && ctx.is_corrupted(ctx.to(i))) {
-        ctx.drop(i);
-      }
-    }
+    ctx.drop_where([&ctx](sim::ProcessId, sim::ProcessId to) {
+      return ctx.is_corrupted(to);
+    });
   }
 
  private:
@@ -196,16 +192,14 @@ class ChaosAdversary final : public sim::Adversary<P> {
       ctx.corrupt(static_cast<sim::ProcessId>(gen_.below(n_)));
     }
     const double drop_prob = gen_.uniform01();  // fresh malice every round
-    const std::size_t mm = ctx.num_messages();
-    for (std::size_t i = 0; i < mm; ++i) {
-      const sim::ProcessId from = ctx.from(i);
-      const sim::ProcessId to = ctx.to(i);
-      if (from == to) continue;
-      if ((ctx.is_corrupted(from) || ctx.is_corrupted(to)) &&
-          gen_.bernoulli(drop_prob)) {
-        ctx.drop(i);
-      }
-    }
+    ctx.scan_messages(
+        [&ctx](sim::ProcessId from, sim::ProcessId to) {
+          return from != to &&
+                 (ctx.is_corrupted(from) || ctx.is_corrupted(to));
+        },
+        [&](std::size_t i, sim::ProcessId, sim::ProcessId) {
+          if (gen_.bernoulli(drop_prob)) ctx.drop(i);
+        });
   }
 
  private:
@@ -236,7 +230,7 @@ class GroupKillerAdversary final : public sim::Adversary<P> {
       }
       picked_ = true;
     }
-    for (auto p : victims_) ctx.silence(p);
+    ctx.silence_many(victims_);
   }
 
  private:
@@ -266,7 +260,7 @@ class CoinHidingAdversary final : public sim::Adversary<P> {
 
   void intervene(sim::AdversaryContext<P>& ctx) override {
     // Crash-style follow-through on earlier victims.
-    for (auto p : silenced_) ctx.silence(p);
+    ctx.silence_many(silenced_);
     // Act whenever votes were just recomputed — including round 0, where
     // the "votes" are the input bits (the adversary of Appendix C plays the
     // coin-flipping game from the very first round).

@@ -287,6 +287,7 @@ std::string serialize_config(const ExperimentConfig& cfg) {
   os << "threads=" << cfg.threads << "\n";
   if (cfg.packed) os << "packed=1\n";
   if (cfg.streamed) os << "streamed=1\n";
+  if (cfg.pipeline) os << "pipeline=1\n";
   if (!cfg.trace_path.empty()) os << "trace_path=" << cfg.trace_path << "\n";
   os << "params.delta_factor=" << format_double(cfg.params.delta_factor)
      << "\n";
@@ -359,6 +360,8 @@ bool parse_config(const std::string& text, ExperimentConfig* out,
       cfg.packed = v == "1" || v == "true";
     } else if (k == "streamed") {
       cfg.streamed = v == "1" || v == "true";
+    } else if (k == "pipeline") {
+      cfg.pipeline = v == "1" || v == "true";
     } else if (k == "trace_path") {
       cfg.trace_path = v;
     } else if (k == "params.delta_factor") {
@@ -385,11 +388,13 @@ std::uint64_t config_hash(const ExperimentConfig& cfg) {
   // The worker-lane count cannot change a trial's outcome (the engine is
   // bit-identical at every setting), so it must not change the key either:
   // a sweep resumed with a different --threads still matches its records.
-  // Same for the trace sink — observation, not behaviour.
+  // Same for the trace sink (observation, not behaviour) and for round
+  // pipelining (a scheduling choice with bit-identical results).
   ExperimentConfig canon = cfg;
   canon.threads = 1;
   canon.engine_stats = nullptr;
   canon.trace_path.clear();
+  canon.pipeline = false;
   return fnv1a(serialize_config(canon));
 }
 

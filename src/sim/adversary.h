@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "support/check.h"
+#include "support/thread_pool.h"
 #include "sim/message.h"
 #include "sim/message_plane.h"
 
@@ -113,12 +115,24 @@ class MessageView {
 /// through an indexed view straight into the plane's flat buffers: a
 /// multicast looks like the equivalent sequence of unicasts (one logical
 /// index per recipient), so strategies are oblivious to the fast-path.
+///
+/// The bulk operations (drop_where, scan_messages, silence, silence_many)
+/// shard the wire scan across the engine's thread pool when one was wired
+/// in — with results bit-identical to the serial scan: drop_where lanes own
+/// disjoint 64-aligned drop-bitset slices, and scan_messages concatenates
+/// per-lane candidate lists in lane (== ascending index) order before the
+/// serial consume pass. Predicates passed to them must be pure functions of
+/// (from, to) and adversary state — in particular they must not draw
+/// randomness (do that in scan_messages' consume step, which runs serially
+/// in ascending index order).
 template <class P>
 class AdversaryContext {
  public:
   AdversaryContext(std::uint32_t round, MessagePlane<P>* plane,
-                   FaultState* faults)
-      : round_(round), plane_(plane), faults_(faults) {}
+                   FaultState* faults,
+                   support::ThreadPool* pool = nullptr, unsigned lanes = 1)
+      : round_(round), plane_(plane), faults_(faults), pool_(pool),
+        lanes_(lanes) {}
 
   std::uint32_t round() const { return round_; }
 
@@ -180,24 +194,114 @@ class AdversaryContext {
 
   bool dropped(std::size_t idx) const { return plane_->dropped(idx); }
 
-  /// Convenience: drop every message from/to p (p must be corrupted).
-  void silence(ProcessId p) {
+  /// Bulk omission: drop every non-self-delivery message whose endpoints
+  /// satisfy pred(from, to). Self-deliveries are skipped silently (no
+  /// strategy may touch them anyway); a matching message between two
+  /// non-corrupted processes throws AdversaryViolation, exactly like
+  /// drop(). Sharded across the pool when the wire is large enough; the
+  /// resulting drop bitset is identical to a serial scan's.
+  template <class Pred>
+  void drop_where(Pred&& pred) {
     const std::size_t mm = plane_->num_messages();
-    for (std::size_t i = 0; i < mm; ++i) {
-      const ProcessId from = plane_->from(i);
-      const ProcessId to = plane_->to(i);
-      if ((from == p || to == p) && from != to && !plane_->dropped(i)) {
-        drop(i);
+    auto scan = [&](std::uint64_t lo, std::uint64_t hi) {
+      plane_->visit_index_range(
+          lo, hi,
+          [&](std::uint64_t i, ProcessId from, ProcessId to) {
+            if (from == to || !pred(from, to)) return;
+            if (!faults_->is_corrupted(from) &&
+                !faults_->is_corrupted(to)) {
+              throw AdversaryViolation(
+                  "round " + std::to_string(round_) +
+                  ": cannot omit message " + std::to_string(from) + "->" +
+                  std::to_string(to) +
+                  " between two non-corrupted processes");
+            }
+            plane_->mark_dropped(static_cast<std::size_t>(i));
+          });
+    };
+    if (use_pool(mm)) {
+      pool_->run([&](unsigned w) {
+        const auto [lo, hi] = plane_->lane_index_range(w, lanes_);
+        scan(lo, hi);
+      });
+    } else {
+      scan(0, mm);
+    }
+  }
+
+  /// Sharded candidate scan for strategies that need per-message randomness:
+  /// lanes collect every message with pred(from, to) true, then consume(idx,
+  /// from, to) runs serially in ascending index order — so a strategy that
+  /// draws one coin per candidate consumes its rng stream in exactly the
+  /// serial scan's order, at every lane count.
+  template <class Pred, class Consume>
+  void scan_messages(Pred&& pred, Consume&& consume) {
+    const std::size_t mm = plane_->num_messages();
+    if (!use_pool(mm)) {
+      plane_->visit_index_range(
+          0, mm, [&](std::uint64_t i, ProcessId from, ProcessId to) {
+            if (pred(from, to)) {
+              consume(static_cast<std::size_t>(i), from, to);
+            }
+          });
+      return;
+    }
+    auto& hits = plane_->scan_scratch(lanes_);
+    pool_->run([&](unsigned w) {
+      const auto [lo, hi] = plane_->lane_index_range(w, lanes_);
+      auto& out = hits[w];
+      out.clear();
+      plane_->visit_index_range(
+          lo, hi, [&](std::uint64_t i, ProcessId from, ProcessId to) {
+            if (pred(from, to)) {
+              out.push_back(typename MessagePlane<P>::ScanHit{i, from, to});
+            }
+          });
+    });
+    for (unsigned w = 0; w < lanes_; ++w) {
+      for (const auto& h : hits[w]) {
+        consume(static_cast<std::size_t>(h.idx), h.from, h.to);
       }
     }
+  }
+
+  /// Convenience: drop every message from/to p (p must be corrupted).
+  void silence(ProcessId p) {
+    drop_where([p](ProcessId from, ProcessId to) {
+      return from == p || to == p;
+    });
+  }
+
+  /// Silence a batch of processes in one wire scan (the drop set is a
+  /// union, so one scan equals per-victim silence() calls — minus the
+  /// repeated O(messages) walks).
+  void silence_many(std::span<const ProcessId> ps) {
+    if (ps.empty()) return;
+    if (ps.size() == 1) {
+      silence(ps[0]);
+      return;
+    }
+    silence_mask_.assign(plane_->num_processes(), 0);
+    for (const ProcessId p : ps) silence_mask_[p] = 1;
+    drop_where([this](ProcessId from, ProcessId to) {
+      return silence_mask_[from] != 0 || silence_mask_[to] != 0;
+    });
   }
 
  private:
   friend struct referee::Backdoor;
 
+  bool use_pool(std::size_t messages) const {
+    return pool_ != nullptr && lanes_ > 1 &&
+           messages >= MessagePlane<P>::kParallelGrain;
+  }
+
   std::uint32_t round_;
   MessagePlane<P>* plane_;
   FaultState* faults_;
+  support::ThreadPool* pool_;
+  unsigned lanes_;
+  std::vector<std::uint8_t> silence_mask_;
 };
 
 /// Base adversary: observes each round and may intervene. Default: benign.

@@ -19,18 +19,26 @@
 //   * a word-packed drop set (`drops_`) marking adversary omissions by
 //     logical index.
 //
-// Sharded rounds produce one private SendLog per worker; absorb() merges
-// them in shard (== ascending process id) order, rebasing group bases and
-// payload slots, so the plane's logical message sequence is byte-identical
-// to a serial round.
+// Sharded rounds produce one private SendLog per worker; stitch() registers
+// them as wire *segments* in shard (== ascending process id) order — no
+// payloads or receiver lists are moved or copied. seal() then builds a flat
+// per-group wire index (global logical bases + direct payload/receiver
+// pointers into the segments), so the plane's logical message sequence is
+// byte-identical to a serial round while the old O(payloads + receivers)
+// merge copy is gone entirely.
 //
 // Two delivery modes:
 //   * deliver() — materialized (default): a stable counting sort of the
 //     surviving logical messages into one contiguous buffer plus a
 //     per-receiver offset table; every inbox is a
-//     std::span<const Message<P>>. Per-message accounting and trace
-//     emission walk the groups in logical-index order, reproducing the
-//     legacy per-record stream bit-for-bit.
+//     std::span<const Message<P>>. Accounting is aggregate (sealed message
+//     count, cached wire bits, drop popcount — identical totals to a
+//     per-message walk); trace emission walks the groups in logical-index
+//     order, reproducing the legacy per-record stream bit-for-bit. Given a
+//     thread pool, the count/scatter passes shard by destination range:
+//     each lane counts and scatters only receivers in [n·w/L, n·(w+1)/L),
+//     so inboxes land in disjoint staging slices and the result is
+//     bit-identical to the serial sort at every lane count.
 //   * deliver_streamed() — nothing is materialized: accounting is done per
 //     group (fanout × cached payload bits) plus one popcount scan of the
 //     drop set, and the sealed wire is swapped into a front buffer that
@@ -38,9 +46,24 @@
 //     for_each_in(). A receiver's cost is O(groups + its multicast
 //     entries), so an n-broadcast round costs O(n) per receiver *total* —
 //     no n² inbox buffer ever exists, which is what makes full-information
-//     protocols at n = 65536 fit in memory. Streamed delivery produces the
-//     same Metrics as materialized delivery; it does not support tracing
-//     or inbox() spans (the engine enforces both).
+//     protocols at n = 65536 fit in memory. A round whose wire is entirely
+//     kList multicasts (graph-restricted machines: every send walks a CSR
+//     adjacency list) skips the group walk and replays only the
+//     per-receiver multicast index — O(Δ) per receiver, not O(groups).
+//     The multicast index build itself shards by receiver range on the
+//     pool. Streamed delivery produces the same Metrics as materialized
+//     delivery; it does not support tracing or inbox() spans (the engine
+//     enforces both).
+//   * deliver_fused() — materialized delivery whose scatter pass also runs
+//     a caller-supplied per-lane compute continuation (the engine's round
+//     pipelining: round k+1's compute shard reads lane-local inboxes the
+//     same lane just scattered).
+//
+// The adversary phase gets sharded helpers too: visit_index_range() walks
+// any slice of the logical index space without the locate() cursor, and
+// lane_index_range() splits that space at 64-aligned cuts so lanes own
+// disjoint drop-bitset words — a parallel drop scan writes the same bitset
+// a serial scan would, bit for bit.
 //
 // All buffers have round-persistent capacity: after warm-up, a round
 // allocates only whatever the payloads themselves allocate internally.
@@ -58,6 +81,7 @@
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 #include "trace/trace.h"
 
 namespace omx::sim {
@@ -109,9 +133,10 @@ template <class P>
 class MessagePlane;
 
 /// One round's send-side log: fan-out groups over a payload arena. The
-/// plane owns one (the wire); each engine worker owns another (its staging
-/// outbox) whose contents are absorbed into the wire at the shard barrier.
-/// Capacity persists across clear(), so steady-state rounds do not allocate.
+/// plane owns one (the wire's first segment); each engine worker owns
+/// another (its staging arena) which is stitched onto the wire by pointer
+/// at the shard barrier. Capacity persists across clear(), so steady-state
+/// rounds do not allocate.
 template <class P>
 class SendLog {
  public:
@@ -127,8 +152,9 @@ class SendLog {
   };
 
   /// One send call. Logical messages [base, base + fanout) expand in the
-  /// receiver order documented on Kind; `base` is the group's offset in the
-  /// round's logical-index space (rebased on absorb).
+  /// receiver order documented on Kind; `base` is the group's offset in
+  /// this log's local logical-index space (the plane's wire index adds the
+  /// segment base when the log is stitched onto the wire).
   struct Group {
     std::uint64_t base;
     ProcessId from;
@@ -269,19 +295,40 @@ class MessagePlane {
   /// Sentinel for multicast: no process is skipped.
   static constexpr ProcessId kNobody = SendLog<P>::kNobody;
 
+  /// Below this many sealed messages the pool hand-off costs more than the
+  /// parallel passes save; delivery and adversary scans fall back to the
+  /// (bit-identical) serial walks.
+  static constexpr std::size_t kParallelGrain = 1024;
+
+  /// An attackable message surfaced by a sharded adversary scan.
+  struct ScanHit {
+    std::uint64_t idx;
+    ProcessId from;
+    ProcessId to;
+  };
+
   explicit MessagePlane(std::uint32_t n)
-      : n_(n), log_(n), front_log_(n), inbox_offsets_(n + 1, 0) {}
+      : n_(n), log_(n), front_log_(n), inbox_offsets_(n + 1, 0) {
+    segs_.push_back(&log_);
+  }
+
+  // The wire index holds pointers into this plane's own log; moving the
+  // plane would dangle them.
+  MessagePlane(const MessagePlane&) = delete;
+  MessagePlane& operator=(const MessagePlane&) = delete;
 
   std::uint32_t num_processes() const { return n_; }
 
-  /// Start a round's send phase. Clears the wire arena (capacity persists);
-  /// the previous round's delivered inboxes (or streamed front buffer) stay
-  /// readable. The round number stamps failure messages and guards against
+  /// Start a round's send phase. Clears the wire's own segment (capacity
+  /// persists) and detaches any stitched shard segments; the previous
+  /// round's delivered inboxes (or streamed front buffer) stay readable.
+  /// The round number stamps failure messages and guards against
   /// wrong-round injection.
   void begin_round(std::uint32_t round = 0) {
     round_ = round;
     log_.clear();
     log_.set_round(round);
+    segs_.assign(1, &log_);
     sealed_ = 0;
     hint_ = 0;
   }
@@ -307,82 +354,84 @@ class MessagePlane {
     log_.multicast(from, to, std::move(payload), skip);
   }
 
-  /// Append a worker's staged log to the wire — rebasing group bases,
-  /// payload slots and receiver-arena offsets — and clear the staged log
-  /// (its capacity persists for the next round). Absorbing shard logs in
-  /// ascending shard order reproduces the exact group/payload sequence of
-  /// a serial round: each shard steps its processes in ascending id order,
-  /// so concatenation *is* id order.
-  void absorb(SendLog<P>& staged) {
-    OMX_CHECK(staged.n_ == n_,
-              "round " + std::to_string(round_) +
-                  ": staged log targets a different system (staged n=" +
-                  std::to_string(staged.n_) + ", wire n=" +
-                  std::to_string(n_) + ")");
-    const auto payload_off =
-        static_cast<std::uint32_t>(log_.payloads_.size());
-    const auto arena_off =
-        static_cast<std::uint32_t>(log_.receivers_.size());
-    const std::uint64_t base_off = log_.total_;
-    log_.groups_.reserve(log_.groups_.size() + staged.groups_.size());
-    for (const typename SendLog<P>::Group& g : staged.groups_) {
-      auto moved = g;
-      moved.base += base_off;
-      moved.payload += payload_off;
-      if (g.kind == SendLog<P>::Kind::kList) moved.a += arena_off;
-      log_.groups_.push_back(moved);
+  /// Stitch the workers' staging arenas onto the wire as segments, in the
+  /// order given — which must be ascending shard order: each shard steps
+  /// its processes in ascending id order, so segment concatenation *is* id
+  /// order and the logical message sequence matches a serial round exactly.
+  /// Nothing is copied; the shard logs must stay untouched until the
+  /// round's delivery completes (streamed mode: until the *next* round's
+  /// delivery swaps them out of the front buffer).
+  void stitch(std::span<SendLog<P>* const> shards) {
+    for (SendLog<P>* s : shards) {
+      OMX_CHECK(s->n_ == n_,
+                "round " + std::to_string(round_) +
+                    ": staged log targets a different system (staged n=" +
+                    std::to_string(s->n_) + ", wire n=" + std::to_string(n_) +
+                    ")");
+      segs_.push_back(s);
     }
-    log_.receivers_.insert(log_.receivers_.end(), staged.receivers_.begin(),
-                           staged.receivers_.end());
-    log_.payloads_.reserve(log_.payloads_.size() + staged.payloads_.size());
-    for (P& payload : staged.payloads_) {
-      log_.payloads_.push_back(std::move(payload));
-    }
-    log_.total_ += staged.total_;
-    staged.clear();
   }
 
   // --- indexed logical-message view (adversary phase) ---
 
+  /// Messages on the wire right now (live sum over all segments; the
+  /// indexed accessors below additionally require seal()).
   std::size_t num_messages() const {
-    return static_cast<std::size_t>(log_.total_);
+    std::uint64_t total = 0;
+    for (const SendLog<P>* s : segs_) total += s->total_;
+    return static_cast<std::size_t>(total);
   }
-  ProcessId from(std::size_t i) const {
-    return log_.groups_[locate(i)].from;
-  }
+  ProcessId from(std::size_t i) const { return wire_[locate(i)].from; }
   ProcessId to(std::size_t i) const {
-    const auto& g = log_.groups_[locate(i)];
-    return log_.receiver(g, i - g.base);
+    const WireGroup& g = wire_[locate(i)];
+    return receiver_of(g, i - g.base);
   }
   const P& payload(std::size_t i) const {
-    return log_.payloads_[log_.groups_[locate(i)].payload];
+    return *wire_[locate(i)].payload;
   }
 
-  /// End the send phase: size the drop set to this round's messages, record
-  /// the sealed message count, and compute the bit-size cache — once per
-  /// payload *slot*, so a broadcast's size is measured once, not n times.
-  /// From here until delivery, the wire's contents are frozen — the
-  /// adversary may omit messages, never add them — which is what makes the
-  /// cache safe to share between the adversary phase (Recorder, wiretaps),
-  /// trace emission and delivery accounting.
+  /// End the send phase: build the flat wire index over all segments
+  /// (global logical bases, direct payload/receiver pointers), size the
+  /// drop set, and compute the bit-size cache — once per payload *slot*,
+  /// so a broadcast's size is measured once, not n times. From here until
+  /// delivery, the wire's contents are frozen — the adversary may omit
+  /// messages, never add them — which is what makes the cache safe to
+  /// share between the adversary phase (Recorder, wiretaps), trace
+  /// emission and delivery accounting.
   void seal() {
-    drops_.reset(static_cast<std::size_t>(log_.total_));
-    sealed_ = static_cast<std::size_t>(log_.total_);
-    const auto& payloads = log_.payloads_;
-    payload_bits_.resize(payloads.size());
-    for (std::size_t s = 0; s < payloads.size(); ++s) {
-      payload_bits_[s] = bit_size(payloads[s]);
+    wire_.clear();
+    payload_bits_.clear();
+    non_list_groups_ = 0;
+    std::uint64_t base = 0;
+    std::uint32_t pbase = 0;
+    for (const SendLog<P>* s : segs_) {
+      for (const typename SendLog<P>::Group& g : s->groups_) {
+        const ProcessId* recs = g.kind == SendLog<P>::Kind::kList
+                                    ? s->receivers_.data() + g.a
+                                    : nullptr;
+        wire_.push_back(WireGroup{base + g.base,
+                                  s->payloads_.data() + g.payload, recs,
+                                  g.from, pbase + g.payload, g.a, g.b,
+                                  g.kind});
+        if (g.kind != SendLog<P>::Kind::kList) ++non_list_groups_;
+      }
+      for (const P& p : s->payloads_) payload_bits_.push_back(bit_size(p));
+      base += s->total_;
+      pbase += static_cast<std::uint32_t>(s->payloads_.size());
     }
+    sealed_ = static_cast<std::size_t>(base);
+    drops_.reset(sealed_);
     wire_bits_ = 0;
-    for (const auto& g : log_.groups_) {
-      wire_bits_ += static_cast<std::uint64_t>(log_.fanout(g)) *
-                    payload_bits_[g.payload];
+    for (const WireGroup& g : wire_) {
+      wire_bits_ += static_cast<std::uint64_t>(fanout(g)) *
+                    payload_bits_[g.pslot];
     }
+    hint_ = 0;
   }
 
   /// Bit size of logical message #i (valid after seal()).
   std::uint64_t payload_bits(std::size_t i) const {
-    return payload_bits_[log_.groups_[locate(i)].payload];
+    return payload_bits_[wire_[locate(i)].pslot];
   }
 
   /// Total bits on the wire this round, dropped or not (valid after seal()).
@@ -400,6 +449,50 @@ class MessagePlane {
     drops_.for_each_set(fn);
   }
 
+  /// Visit every logical message with index in [lo, hi): fn(idx, from, to),
+  /// ascending. Walks the wire index directly (no locate() cursor), so
+  /// concurrent calls on disjoint ranges are safe — this is the substrate
+  /// of the sharded adversary drop scan. Valid after seal().
+  template <class Fn>
+  void visit_index_range(std::uint64_t lo, std::uint64_t hi, Fn&& fn) const {
+    if (lo >= hi) return;
+    auto it = std::upper_bound(
+        wire_.begin(), wire_.end(), lo,
+        [](std::uint64_t v, const WireGroup& g) { return v < g.base; });
+    if (it != wire_.begin()) --it;
+    for (; it != wire_.end() && it->base < hi; ++it) {
+      const WireGroup& g = *it;
+      const std::uint32_t fan = fanout(g);
+      const std::uint64_t r0 = lo > g.base ? lo - g.base : 0;
+      const std::uint64_t r1 =
+          std::min<std::uint64_t>(fan, hi - g.base);
+      for (std::uint64_t r = r0; r < r1; ++r) {
+        fn(g.base + r, g.from, receiver_of(g, r));
+      }
+    }
+  }
+
+  /// Lane w's slice of the logical index space, cut at multiples of 64 so
+  /// every lane owns disjoint *words* of the drop bitset: lanes may
+  /// mark_dropped() concurrently within their own slice and the resulting
+  /// bitset is identical to a serial scan's.
+  std::pair<std::uint64_t, std::uint64_t> lane_index_range(
+      unsigned w, unsigned lanes) const {
+    const auto total = static_cast<std::uint64_t>(sealed_);
+    const auto cut = [&](unsigned k) -> std::uint64_t {
+      if (k >= lanes) return total;
+      return (total * k / lanes) & ~std::uint64_t{63};
+    };
+    return {cut(w), cut(w + 1)};
+  }
+
+  /// Per-lane candidate buffers for sharded adversary scans (capacity
+  /// persists across rounds, like every other plane buffer).
+  std::vector<std::vector<ScanHit>>& scan_scratch(unsigned lanes) {
+    if (scan_scratch_.size() < lanes) scan_scratch_.resize(lanes);
+    return scan_scratch_;
+  }
+
   // --- delivery (communication phase) ---
 
   /// Materialized delivery. Account every logical message (sent-but-omitted
@@ -408,127 +501,159 @@ class MessagePlane {
   /// in global send order, exactly as the per-receiver push_back delivery
   /// did. With a trace sink, emits one kSend per logical message (and a
   /// kDrop after each omitted one) in wire order — the canonical order
-  /// shard absorption already guarantees, so traced streams are
-  /// bit-identical across thread counts.
-  void deliver(Metrics& m, trace::TraceWriter* trace = nullptr) {
+  /// segment stitching already guarantees, so traced streams are
+  /// bit-identical across thread counts. With a pool, the count and
+  /// scatter passes shard by destination range (bit-identical result;
+  /// traced runs stay serial).
+  void deliver(Metrics& m, trace::TraceWriter* trace = nullptr,
+               support::ThreadPool* pool = nullptr, unsigned lanes = 1) {
     check_sealed();
-    auto& groups = log_.groups_;
-    auto& payloads = log_.payloads_;
-    payload_uses_.assign(payloads.size(), 0);
-    counts_.assign(n_, 0);
-    std::size_t delivered = 0;
-    for (const auto& g : groups) {
-      const std::uint32_t fan = log_.fanout(g);
-      const std::uint64_t bits = payload_bits_[g.payload];
-      for (std::uint32_t r = 0; r < fan; ++r) {
-        const std::uint64_t i = g.base + r;
-        const ProcessId to = log_.receiver(g, r);
-        m.messages += 1;
-        m.comm_bits += bits;
-        if (trace != nullptr) {
+    m.messages += sealed_;
+    m.comm_bits += wire_bits_;
+    const std::size_t dropped = drops_.count();
+    m.omitted += dropped;
+
+    if (trace != nullptr) {
+      for (const WireGroup& g : wire_) {
+        const std::uint32_t fan = fanout(g);
+        const std::uint64_t bits = payload_bits_[g.pslot];
+        for (std::uint32_t r = 0; r < fan; ++r) {
+          const std::uint64_t i = g.base + r;
+          const ProcessId to = receiver_of(g, r);
           trace->emit(trace::Event{round_, trace::kSend, 0, g.from, to,
                                    bits});
-        }
-        if (drops_.test(static_cast<std::size_t>(i))) {
-          m.omitted += 1;
-          if (trace != nullptr) {
+          if (drops_.test(static_cast<std::size_t>(i))) {
             trace->emit(trace::Event{round_, trace::kDrop, 0, g.from, to, i});
           }
-          continue;
         }
-        ++counts_[to];
-        ++payload_uses_[g.payload];
-        ++delivered;
       }
     }
 
-    scratch_offsets_.resize(n_ + 1);
-    scratch_offsets_[0] = 0;
-    for (std::uint32_t p = 0; p < n_; ++p) {
-      scratch_offsets_[p + 1] = scratch_offsets_[p] + counts_[p];
-      counts_[p] = scratch_offsets_[p];  // reuse as scatter cursors
+    counts_.assign(n_, 0);
+    const bool par = pool != nullptr && lanes > 1 && n_ >= lanes &&
+                     sealed_ >= kParallelGrain;
+    if (par) {
+      pool->run([&](unsigned w) {
+        count_range(dest_lo(w, lanes), dest_lo(w + 1, lanes));
+      });
+    } else {
+      count_range(0, n_);
     }
-    // Scatter the survivors straight into the staging buffer through the
-    // per-receiver cursors (one pass, no index indirection). Stable: for a
-    // fixed receiver the cursor advances in global send order. Slots are
-    // overwritten by assignment, not reconstructed, so a payload holding a
-    // heap buffer (e.g. a vector) reuses last round's capacity in place.
-    // The last surviving use of a payload moves it; earlier fan-out uses
-    // copy (a broadcast payload is shared by several receivers).
-    staging_.resize(delivered);
-    for (const auto& g : groups) {
-      const std::uint32_t fan = log_.fanout(g);
-      for (std::uint32_t r = 0; r < fan; ++r) {
-        const std::uint64_t i = g.base + r;
-        if (drops_.test(static_cast<std::size_t>(i))) continue;
-        const ProcessId to = log_.receiver(g, r);
-        Message<P>& dst = staging_[counts_[to]++];
-        dst.from = g.from;
-        dst.to = to;
-        if (--payload_uses_[g.payload] == 0) {
-          dst.payload = std::move(payloads[g.payload]);
-        } else {
-          dst.payload = payloads[g.payload];
-        }
-      }
+    build_offsets();
+    staging_.resize(sealed_ - dropped);
+    if (par) {
+      pool->run([&](unsigned w) {
+        scatter_range(dest_lo(w, lanes), dest_lo(w + 1, lanes));
+      });
+    } else {
+      scatter_range(0, n_);
     }
     inbox_store_.swap(staging_);
     inbox_offsets_.swap(scratch_offsets_);
   }
 
+  /// Materialized delivery fused with the next round's compute phase (the
+  /// engine's pipelining). The scatter job's lane w, after writing every
+  /// inbox in its destination range, immediately runs compute(w, lo, hi) —
+  /// which may read those inboxes via staged_inbox(p) for p in [lo, hi).
+  /// Receiver ranges equal compute shards, so no lane reads another lane's
+  /// staging slice. Inboxes/metrics are bit-identical to deliver().
+  template <class ComputeFn>
+  void deliver_fused(Metrics& m, support::ThreadPool& pool, unsigned lanes,
+                     ComputeFn&& compute) {
+    check_sealed();
+    m.messages += sealed_;
+    m.comm_bits += wire_bits_;
+    const std::size_t dropped = drops_.count();
+    m.omitted += dropped;
+
+    counts_.assign(n_, 0);
+    pool.run([&](unsigned w) {
+      count_range(dest_lo(w, lanes), dest_lo(w + 1, lanes));
+    });
+    build_offsets();
+    staging_.resize(sealed_ - dropped);
+    pool.run([&](unsigned w) {
+      const ProcessId lo = dest_lo(w, lanes);
+      const ProcessId hi = dest_lo(w + 1, lanes);
+      scatter_range(lo, hi);
+      compute(w, lo, hi);
+    });
+    inbox_store_.swap(staging_);
+    inbox_offsets_.swap(scratch_offsets_);
+  }
+
+  /// Inbox of p inside a deliver_fused compute continuation: the slice the
+  /// current lane just scattered (identical to what inbox(p) returns after
+  /// the fused call completes).
+  std::span<const Message<P>> staged_inbox(ProcessId p) const {
+    return std::span<const Message<P>>(
+        staging_.data() + scratch_offsets_[p],
+        scratch_offsets_[p + 1] - scratch_offsets_[p]);
+  }
+
   /// Streamed delivery: aggregate accounting (identical Metrics totals to
   /// deliver()), no inbox materialization. The sealed wire is swapped into
   /// the front buffer that stream_inbox() iterates next round; per-receiver
-  /// multicast entries are indexed once (counting sort over kList groups)
-  /// so a receiver's walk cost is O(groups + its own multicast entries).
-  /// Tracing is not supported in this mode (the engine routes traced runs
-  /// through deliver()).
-  void deliver_streamed(Metrics& m) {
+  /// multicast entries are indexed once (counting sort over kList groups,
+  /// sharded by receiver range when a pool is given) so a receiver's walk
+  /// cost is O(groups + its own multicast entries) — or O(its own entries)
+  /// when the whole wire is multicasts. Tracing is not supported in this
+  /// mode (the engine routes traced runs through deliver()).
+  void deliver_streamed(Metrics& m, support::ThreadPool* pool = nullptr,
+                        unsigned lanes = 1) {
     check_sealed();
     streamed_mode_ = true;
-    for (const auto& g : log_.groups_) {
-      const auto fan = static_cast<std::uint64_t>(log_.fanout(g));
-      m.messages += fan;
-      m.comm_bits += fan * payload_bits_[g.payload];
-    }
+    m.messages += sealed_;
+    m.comm_bits += wire_bits_;
     const std::size_t dropped = drops_.count();
     m.omitted += dropped;
 
     // Per-receiver index of kList logical messages, ascending by logical
     // index within each receiver (counting sort in group order).
-    listed_counts_.assign(n_ + 1, 0);
-    for (const auto& g : log_.groups_) {
-      if (g.kind != SendLog<P>::Kind::kList) continue;
-      for (std::uint32_t r = 0; r < g.b; ++r) {
-        ++listed_counts_[log_.receivers_[g.a + r] + 1];
-      }
+    std::size_t list_total = 0;
+    for (const WireGroup& g : wire_) {
+      if (g.kind == SendLog<P>::Kind::kList) list_total += g.b;
+    }
+    counts_.assign(n_, 0);
+    const bool par = pool != nullptr && lanes > 1 && n_ >= lanes &&
+                     list_total >= kParallelGrain;
+    if (par) {
+      pool->run([&](unsigned w) {
+        list_count_range(dest_lo(w, lanes), dest_lo(w + 1, lanes));
+      });
+    } else {
+      list_count_range(0, n_);
     }
     listed_offsets_.resize(n_ + 1);
     listed_offsets_[0] = 0;
     for (std::uint32_t p = 0; p < n_; ++p) {
-      listed_offsets_[p + 1] = listed_offsets_[p] + listed_counts_[p + 1];
-      listed_counts_[p] = listed_offsets_[p];  // reuse as scatter cursors
+      listed_offsets_[p + 1] = listed_offsets_[p] + counts_[p];
+      counts_[p] = listed_offsets_[p];  // reuse as scatter cursors
     }
-    listed_.resize(listed_offsets_[n_]);
-    std::uint32_t gi = 0;
-    for (const auto& g : log_.groups_) {
-      if (g.kind == SendLog<P>::Kind::kList) {
-        for (std::uint32_t r = 0; r < g.b; ++r) {
-          const ProcessId to = log_.receivers_[g.a + r];
-          listed_[listed_counts_[to]++] = ListedEntry{g.base + r, gi};
-        }
-      }
-      ++gi;
+    listed_.resize(list_total);
+    if (par) {
+      pool->run([&](unsigned w) {
+        list_scatter_range(dest_lo(w, lanes), dest_lo(w + 1, lanes));
+      });
+    } else {
+      list_scatter_range(0, n_);
     }
 
+    // Swap the sealed wire into the front buffer. The wire index's payload
+    // and receiver pointers chase heap buffers, so swapping the own log's
+    // *contents* (and leaving stitched shard arenas in place — the engine
+    // double-banks them) keeps every pointer valid while log_ is reused
+    // for the next round.
     std::swap(log_, front_log_);
+    wire_.swap(front_wire_);
     std::swap(drops_, front_drops_);
     // In a fault-free round the per-message drop test is pure overhead —
     // and an expensive one: the indices a receiver probes are spread over
     // an n^2-bit set (33 MB at n=16384), so every test is a cache miss.
     // One flag turns all of them into a register compare.
     front_drops_any_ = dropped != 0;
-    std::swap(payload_bits_, front_payload_bits_);
+    front_only_lists_ = non_list_groups_ == 0;
     listed_.swap(front_listed_);
     listed_offsets_.swap(front_listed_offsets_);
     front_valid_ = true;
@@ -548,16 +673,21 @@ class MessagePlane {
   /// Visit every message delivered to p by the most recent
   /// deliver_streamed() call, in global send order: fn(from, payload).
   /// Broadcast/unicast membership is O(1) per group; kList entries come
-  /// from the per-receiver index, merged by logical index.
+  /// from the per-receiver index, merged by logical index — and when the
+  /// whole front wire is kList groups (graph-restricted machines), the
+  /// group walk is skipped entirely and the cost is O(p's own entries).
   template <class Fn>
   void stream_inbox(ProcessId p, Fn&& fn) const {
     if (!front_valid_) return;  // round 0: nothing delivered yet
-    const auto& gs = front_log_.groups_;
     std::size_t k = front_listed_offsets_.empty() ? 0
                                                   : front_listed_offsets_[p];
     const std::size_t k_end =
         front_listed_offsets_.empty() ? 0 : front_listed_offsets_[p + 1];
-    for (const auto& g : gs) {
+    if (front_only_lists_) {
+      for (; k < k_end; ++k) emit_listed(front_listed_[k], fn);
+      return;
+    }
+    for (const WireGroup& g : front_wire_) {
       while (k < k_end && front_listed_[k].idx < g.base) {
         emit_listed(front_listed_[k], fn);
         ++k;
@@ -580,7 +710,7 @@ class MessagePlane {
       }
       if (!front_drops_any_ ||
           !front_drops_.test(static_cast<std::size_t>(idx))) {
-        fn(g.from, front_log_.payloads_[g.payload]);
+        fn(g.from, *g.payload);
       }
     }
     while (k < k_end) {
@@ -590,22 +720,183 @@ class MessagePlane {
   }
 
  private:
-  struct ListedEntry {
-    std::uint64_t idx;   // logical index (drop lookup + ordering)
-    std::uint32_t group;
+  /// One send call on the sealed wire: its group metadata flattened across
+  /// segments — global logical base, global payload slot (bit-size cache),
+  /// and direct pointers to its payload and (kList) receiver list inside
+  /// the owning segment. Pointers stay valid from seal() until the owning
+  /// log is next cleared, which is what lets the front buffer outlive the
+  /// swap in deliver_streamed().
+  struct WireGroup {
+    std::uint64_t base;
+    const P* payload;
+    const ProcessId* recs;  // kList receivers (segment arena + offset)
+    ProcessId from;
+    std::uint32_t pslot;    // global payload slot
+    std::uint32_t a;        // receiver (kUnicast)
+    std::uint32_t b;        // list length (kList)
+    typename SendLog<P>::Kind kind;
   };
+
+  struct ListedEntry {
+    std::uint64_t idx;    // logical index (drop lookup + ordering)
+    std::uint32_t group;  // ordinal into the (front) wire index
+  };
+
+  std::uint32_t fanout(const WireGroup& g) const {
+    switch (g.kind) {
+      case SendLog<P>::Kind::kUnicast: return 1;
+      case SendLog<P>::Kind::kBroadcast: return n_ - 1;
+      case SendLog<P>::Kind::kBroadcastSelf: return n_;
+      case SendLog<P>::Kind::kList: return g.b;
+    }
+    return 0;
+  }
+
+  ProcessId receiver_of(const WireGroup& g, std::uint64_t rank) const {
+    switch (g.kind) {
+      case SendLog<P>::Kind::kUnicast:
+        return static_cast<ProcessId>(g.a);
+      case SendLog<P>::Kind::kBroadcast:
+        return rank < g.from ? static_cast<ProcessId>(rank)
+                             : static_cast<ProcessId>(rank + 1);
+      case SendLog<P>::Kind::kBroadcastSelf:
+        return static_cast<ProcessId>(rank);
+      case SendLog<P>::Kind::kList:
+        return g.recs[rank];
+    }
+    return 0;
+  }
+
+  ProcessId dest_lo(unsigned w, unsigned lanes) const {
+    return static_cast<ProcessId>(std::uint64_t{n_} * w / lanes);
+  }
 
   void check_sealed() const {
     // The wire was frozen at seal(); messages appearing afterwards would be
     // messages the adversary conjured into the round (an omission adversary
     // may suppress messages, never create or re-inject them).
-    if (static_cast<std::size_t>(log_.total_) != sealed_) {
+    const std::size_t live = num_messages();
+    if (live != sealed_) {
       throw AdversaryViolation(
           "round " + std::to_string(round_) + ": " +
-          std::to_string(static_cast<std::size_t>(log_.total_) - sealed_) +
+          std::to_string(live - sealed_) +
           " message(s) appeared on the wire after the computation phase was "
           "sealed — an omission adversary cannot inject or re-route "
           "messages");
+    }
+  }
+
+  /// Tally surviving messages per receiver, restricted to receivers in
+  /// [lo, hi) — lanes on disjoint ranges touch disjoint counts_ slots.
+  void count_range(ProcessId lo, ProcessId hi) {
+    for (const WireGroup& g : wire_) {
+      switch (g.kind) {
+        case SendLog<P>::Kind::kUnicast: {
+          const auto q = static_cast<ProcessId>(g.a);
+          if (q >= lo && q < hi &&
+              !drops_.test(static_cast<std::size_t>(g.base))) {
+            ++counts_[q];
+          }
+          break;
+        }
+        case SendLog<P>::Kind::kBroadcast:
+          for (ProcessId q = lo; q < hi; ++q) {
+            if (q == g.from) continue;
+            const std::uint64_t i = g.base + (q < g.from ? q : q - 1u);
+            if (!drops_.test(static_cast<std::size_t>(i))) ++counts_[q];
+          }
+          break;
+        case SendLog<P>::Kind::kBroadcastSelf:
+          for (ProcessId q = lo; q < hi; ++q) {
+            if (!drops_.test(static_cast<std::size_t>(g.base + q))) {
+              ++counts_[q];
+            }
+          }
+          break;
+        case SendLog<P>::Kind::kList:
+          for (std::uint32_t r = 0; r < g.b; ++r) {
+            const ProcessId q = g.recs[r];
+            if (q >= lo && q < hi &&
+                !drops_.test(static_cast<std::size_t>(g.base + r))) {
+              ++counts_[q];
+            }
+          }
+          break;
+      }
+    }
+  }
+
+  /// Turn counts into inbox offsets and scatter cursors.
+  void build_offsets() {
+    scratch_offsets_.resize(n_ + 1);
+    scratch_offsets_[0] = 0;
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      scratch_offsets_[p + 1] = scratch_offsets_[p] + counts_[p];
+      counts_[p] = scratch_offsets_[p];  // reuse as scatter cursors
+    }
+  }
+
+  /// Scatter the survivors addressed to [lo, hi) into the staging buffer
+  /// through the per-receiver cursors. Stable: the wire index is walked in
+  /// global send order, so for a fixed receiver the cursor advances in
+  /// send order — identical inboxes at every lane count. Payloads are
+  /// copied (never moved): a broadcast payload is shared by several
+  /// receivers, possibly on different lanes. Slots are overwritten by
+  /// assignment, not reconstructed, so a payload holding a heap buffer
+  /// (e.g. a vector) reuses last round's capacity in place.
+  void scatter_range(ProcessId lo, ProcessId hi) {
+    for (const WireGroup& g : wire_) {
+      const std::uint32_t fan = fanout(g);
+      std::uint32_t r0 = 0;
+      std::uint32_t r1 = fan;
+      // Broadcast ranks map 1:1 onto ascending receivers; clip the rank
+      // window instead of scanning all n receivers per lane.
+      if (g.kind == SendLog<P>::Kind::kBroadcast ||
+          g.kind == SendLog<P>::Kind::kBroadcastSelf) {
+        const std::uint32_t skip =
+            g.kind == SendLog<P>::Kind::kBroadcast ? 1u : 0u;
+        r0 = lo <= g.from || skip == 0 ? lo : lo - skip;
+        r1 = std::min<std::uint32_t>(
+            fan, hi <= g.from || skip == 0 ? hi : hi - skip);
+      }
+      for (std::uint32_t r = r0; r < r1; ++r) {
+        const ProcessId to = receiver_of(g, r);
+        if (to < lo || to >= hi) continue;
+        const std::uint64_t i = g.base + r;
+        if (drops_.test(static_cast<std::size_t>(i))) continue;
+        Message<P>& dst = staging_[counts_[to]++];
+        dst.from = g.from;
+        dst.to = to;
+        dst.payload = *g.payload;
+      }
+    }
+  }
+
+  /// Count kList entries addressed to [lo, hi) (streamed-mode index build).
+  void list_count_range(ProcessId lo, ProcessId hi) {
+    for (const WireGroup& g : wire_) {
+      if (g.kind != SendLog<P>::Kind::kList) continue;
+      for (std::uint32_t r = 0; r < g.b; ++r) {
+        const ProcessId q = g.recs[r];
+        if (q >= lo && q < hi) ++counts_[q];
+      }
+    }
+  }
+
+  /// Scatter kList entries addressed to [lo, hi) into the per-receiver
+  /// multicast index (group order == ascending logical index per receiver).
+  void list_scatter_range(ProcessId lo, ProcessId hi) {
+    std::uint32_t gi = 0;
+    for (const WireGroup& g : wire_) {
+      if (g.kind == SendLog<P>::Kind::kList) {
+        for (std::uint32_t r = 0; r < g.b; ++r) {
+          const ProcessId q = g.recs[r];
+          if (q >= lo && q < hi) {
+            listed_[counts_[q]++] = ListedEntry{g.base + r, gi};
+          }
+        }
+      }
+      ++gi;
     }
   }
 
@@ -615,44 +906,48 @@ class MessagePlane {
         front_drops_.test(static_cast<std::size_t>(e.idx))) {
       return;
     }
-    const auto& g = front_log_.groups_[e.group];
-    fn(g.from, front_log_.payloads_[g.payload]);
+    const WireGroup& g = front_wire_[e.group];
+    fn(g.from, *g.payload);
   }
 
-  /// Group covering logical index i. Adversaries and the audit scan
-  /// indices mostly in ascending order, so a cursor makes the common case
-  /// O(1); random access falls back to binary search over group bases.
+  /// Wire-index group covering logical index i (valid after seal()).
+  /// Adversaries and the audit scan indices mostly in ascending order, so
+  /// a cursor makes the common case O(1); random access falls back to
+  /// binary search over group bases. The cursor is not thread-safe —
+  /// sharded scans use visit_index_range() instead.
   std::size_t locate(std::size_t i) const {
-    const auto& gs = log_.groups_;
     const auto covers = [&](std::size_t g) {
-      return i >= gs[g].base && i - gs[g].base < log_.fanout(gs[g]);
+      return i >= wire_[g].base && i - wire_[g].base < fanout(wire_[g]);
     };
-    if (hint_ < gs.size() && covers(hint_)) return hint_;
-    if (hint_ + 1 < gs.size() && covers(hint_ + 1)) return ++hint_;
+    if (hint_ < wire_.size() && covers(hint_)) return hint_;
+    if (hint_ + 1 < wire_.size() && covers(hint_ + 1)) return ++hint_;
     auto it = std::upper_bound(
-        gs.begin(), gs.end(), static_cast<std::uint64_t>(i),
-        [](std::uint64_t v, const typename SendLog<P>::Group& g) {
-          return v < g.base;
-        });
-    OMX_CHECK(it != gs.begin(), "logical message index out of range");
-    hint_ = static_cast<std::size_t>(it - gs.begin()) - 1;
+        wire_.begin(), wire_.end(), static_cast<std::uint64_t>(i),
+        [](std::uint64_t v, const WireGroup& g) { return v < g.base; });
+    OMX_CHECK(it != wire_.begin(), "logical message index out of range");
+    hint_ = static_cast<std::size_t>(it - wire_.begin()) - 1;
     return hint_;
   }
 
   std::uint32_t n_;
   std::uint32_t round_ = 0;
-  SendLog<P> log_;
+  SendLog<P> log_;                  // the wire's own segment (segs_[0])
+  std::vector<SendLog<P>*> segs_;   // wire segments, in shard order
+  std::vector<WireGroup> wire_;     // flat index over segs_, built at seal()
   DropSet drops_;
   std::size_t sealed_ = 0;          // wire size recorded at seal()
   std::uint64_t wire_bits_ = 0;     // total bits on the wire, cached at seal()
+  std::size_t non_list_groups_ = 0;
   mutable std::size_t hint_ = 0;    // sequential-access cursor for locate()
 
-  // Streamed-mode front buffer: last round's sealed wire, readable while
-  // the next round's sends accumulate in log_.
+  // Streamed-mode front buffer: last round's sealed wire index (plus the
+  // own-log contents, swapped out of the way of the next round), readable
+  // while the next round's sends accumulate.
   SendLog<P> front_log_;
+  std::vector<WireGroup> front_wire_;
   DropSet front_drops_;
   bool front_drops_any_ = false;
-  std::vector<std::uint64_t> front_payload_bits_;
+  bool front_only_lists_ = false;
   std::vector<ListedEntry> front_listed_;
   std::vector<std::size_t> front_listed_offsets_;
   bool front_valid_ = false;
@@ -660,15 +955,14 @@ class MessagePlane {
 
   // Delivery scratch + double-buffered inboxes (all capacity-persistent).
   std::vector<std::uint64_t> payload_bits_;  // per payload slot, at seal()
-  std::vector<std::uint32_t> payload_uses_;
   std::vector<std::size_t> counts_;
   std::vector<std::size_t> scratch_offsets_;
   std::vector<ListedEntry> listed_;
-  std::vector<std::size_t> listed_counts_;
   std::vector<std::size_t> listed_offsets_;
   std::vector<Message<P>> staging_;
   std::vector<Message<P>> inbox_store_;
   std::vector<std::size_t> inbox_offsets_;
+  std::vector<std::vector<ScanHit>> scan_scratch_;
 };
 
 }  // namespace omx::sim

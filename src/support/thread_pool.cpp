@@ -1,5 +1,7 @@
 #include "support/thread_pool.h"
 
+#include <chrono>
+
 #include "support/check.h"
 
 namespace omx::support {
@@ -8,6 +10,13 @@ namespace {
 // Which pool (if any) the current thread is a worker lane of. Used to run
 // nested run() calls inline instead of deadlocking on the barrier.
 thread_local const ThreadPool* tl_worker_of = nullptr;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 unsigned ThreadPool::hardware_threads() {
@@ -20,7 +29,8 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-ThreadPool::ThreadPool(unsigned lanes) : lanes_(lanes) {
+ThreadPool::ThreadPool(unsigned lanes)
+    : lanes_(lanes), busy_(std::make_unique<LaneClock[]>(lanes)) {
   OMX_REQUIRE(lanes >= 1, "thread pool needs at least one lane");
   threads_.reserve(lanes_ - 1);
   for (unsigned lane = 1; lane < lanes_; ++lane) {
@@ -54,11 +64,13 @@ void ThreadPool::worker_loop(unsigned lane) {
       seen = generation_;
       job = job_;
     }
+    const std::uint64_t t0 = now_ns();
     try {
       (*job)(lane);
     } catch (...) {
       record_error();
     }
+    busy_[lane].ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     if (--pending_ == 0) done_cv_.notify_one();
   }
@@ -68,7 +80,16 @@ void ThreadPool::run(const std::function<void(unsigned)>& job) {
   if (lanes_ == 1 || tl_worker_of == this) {
     // Single-lane pool, or a nested call from one of our own lanes: execute
     // inline. Exceptions propagate naturally from the first failing lane.
-    for (unsigned lane = 0; lane < lanes_; ++lane) job(lane);
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+      const std::uint64_t t0 = now_ns();
+      try {
+        job(lane);
+      } catch (...) {
+        busy_[lane].ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+        throw;
+      }
+      busy_[lane].ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    }
     return;
   }
 
@@ -87,11 +108,13 @@ void ThreadPool::run(const std::function<void(unsigned)>& job) {
   // may itself be a worker lane of a *different* pool.
   const ThreadPool* const prev = tl_worker_of;
   tl_worker_of = this;
+  const std::uint64_t t0 = now_ns();
   try {
     job(0);
   } catch (...) {
     record_error();
   }
+  busy_[0].ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   tl_worker_of = prev;
 
   std::exception_ptr err;

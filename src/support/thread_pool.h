@@ -19,10 +19,12 @@
 //     the nested job runs all lanes inline on the current thread.
 #pragma once
 
+#include <atomic>
 #include <exception>
 #include <functional>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -54,11 +56,26 @@ class ThreadPool {
   /// barrier, exception, and reentrancy contract.
   void run(const std::function<void(unsigned)>& job);
 
+  /// Cumulative wall time lane `lane` has spent inside job slices since the
+  /// pool was built. Monotone; sample before/after a region and subtract to
+  /// attribute busy time to it. Relaxed loads: readers want a utilization
+  /// figure, not a synchronization edge.
+  std::uint64_t lane_busy_ns(unsigned lane) const {
+    return busy_[lane].ns.load(std::memory_order_relaxed);
+  }
+
  private:
+  // One cache line per lane so the per-slice accumulation never bounces a
+  // line between workers.
+  struct alignas(64) LaneClock {
+    std::atomic<std::uint64_t> ns{0};
+  };
+
   void worker_loop(unsigned lane);
   void record_error() noexcept;
 
   unsigned lanes_;
+  std::unique_ptr<LaneClock[]> busy_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;

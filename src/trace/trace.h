@@ -18,7 +18,7 @@
 //   kCorrupt*    in ascending process id (processes newly corrupted by this
 //                round's intervention)
 //   (kSend | kDrop)*  in wire-record order — already canonical, because
-//                staged shard logs are absorbed in ascending shard order
+//                staged shard logs are stitched onto the wire in ascending shard order
 //   ...
 //   kFinish      once, after the last round
 //   kDecide*     in ascending process id (appended post-run; their `round`

@@ -135,6 +135,57 @@ TEST(DoublingGossip, StarvedVictimsNeverComplete) {
   EXPECT_EQ(run.machine->ones_of(3) + run.machine->zeros_of(3), 1u);
 }
 
+// Streamed delivery against the graph-restricted wire: inquiry rounds are
+// all-kList multicast wires, so the streamed front buffer takes the
+// O(degree)-per-receiver index fast path; response rounds mix in unicasts
+// and walk the groups. Both must reproduce the materialized engine's
+// metrics and final knowledge exactly, serial and pool-sharded alike.
+TEST(DoublingGossip, StreamedMatchesMaterializedAcrossThreadCounts) {
+  const std::uint32_t n = 200;
+  const std::uint32_t t = 12;
+  struct Snapshot {
+    sim::Metrics metrics;
+    std::vector<std::uint32_t> known;
+    std::vector<bool> completed;
+  };
+  auto run_one = [&](bool streamed, unsigned threads) {
+    adversary::RandomOmissionAdversary<core::Msg> adv(n, t, 0.8, 11);
+    DoublingConfig cfg;
+    cfg.t = t;
+    auto inputs = harness::make_inputs(harness::InputPattern::Random, n, 7);
+    rng::Ledger ledger(n, 1);
+    DoublingGossipMachine machine(cfg, inputs);
+    sim::Runner<core::Msg>::Options opts;
+    opts.threads = threads;
+    if (streamed) {
+      opts.delivery = sim::Runner<core::Msg>::Options::Delivery::kStreamed;
+    }
+    sim::Runner<core::Msg> runner(n, t, &ledger, &adv, opts);
+    machine.set_fault_view(&runner.faults());
+    Snapshot s;
+    s.metrics = runner.run(machine).metrics;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      s.known.push_back(machine.known_of(p));
+      s.completed.push_back(machine.completed(p));
+    }
+    return s;
+  };
+  const Snapshot base = run_one(/*streamed=*/false, /*threads=*/1);
+  for (const unsigned threads : {1u, 4u}) {
+    for (const bool streamed : {false, true}) {
+      SCOPED_TRACE(std::string(streamed ? "streamed" : "materialized") +
+                   " threads=" + std::to_string(threads));
+      const Snapshot got = run_one(streamed, threads);
+      EXPECT_EQ(got.metrics.rounds, base.metrics.rounds);
+      EXPECT_EQ(got.metrics.messages, base.metrics.messages);
+      EXPECT_EQ(got.metrics.comm_bits, base.metrics.comm_bits);
+      EXPECT_EQ(got.metrics.omitted, base.metrics.omitted);
+      EXPECT_EQ(got.known, base.known);
+      EXPECT_EQ(got.completed, base.completed);
+    }
+  }
+}
+
 TEST(DoublingGossip, RespectsRoundCap) {
   const std::uint32_t n = 32;
   DoublingConfig cfg;

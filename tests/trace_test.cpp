@@ -203,16 +203,75 @@ TEST(TraceDeterminism, ByteIdenticalAcrossThreadCounts) {
   cfg.threads = 1;
   cfg.trace_path = (dir / "t1.trace").string();
   harness::run_experiment(cfg);
-  cfg.threads = 8;
-  cfg.trace_path = (dir / "t8.trace").string();
-  harness::run_experiment(cfg);
-
-  // Event-level equality, raw byte equality, and a clean diff verdict.
   const TraceData a = read_trace((dir / "t1.trace").string());
-  const TraceData b = read_trace((dir / "t8.trace").string());
-  EXPECT_EQ(a.events, b.events);
-  EXPECT_EQ(slurp(dir / "t1.trace"), slurp(dir / "t8.trace"));
-  EXPECT_FALSE(first_divergence(a, b).diverged);
+  const std::string bytes = slurp(dir / "t1.trace");
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    cfg.threads = threads;
+    cfg.trace_path =
+        (dir / ("t" + std::to_string(threads) + ".trace")).string();
+    harness::run_experiment(cfg);
+    // Event-level equality, raw byte equality, and a clean diff verdict.
+    const TraceData b = read_trace(cfg.trace_path);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(bytes, slurp(cfg.trace_path));
+    EXPECT_FALSE(first_divergence(a, b).diverged);
+  }
+}
+
+// The flood path at a wire size that clears the engine's parallel grain:
+// threaded delivery keeps serial per-message emission order, and the
+// parallel adversary scan (rand-omit draws one coin per candidate) must
+// consume the rng stream in the serial scan's order — any reordering would
+// flip kDrop targets and break byte-identity.
+TEST(TraceDeterminism, FloodRandOmitByteIdenticalAcrossThreadCounts) {
+  const fs::path dir = scratch("flood_threads");
+  harness::ExperimentConfig cfg;
+  cfg.algo = harness::Algo::FloodSet;
+  cfg.attack = harness::Attack::RandomOmission;
+  cfg.n = 96;
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  cfg.seed = 5;
+
+  cfg.threads = 1;
+  cfg.trace_path = (dir / "t1.trace").string();
+  harness::run_experiment(cfg);
+  const std::string bytes = slurp(dir / "t1.trace");
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    cfg.threads = threads;
+    cfg.trace_path =
+        (dir / ("t" + std::to_string(threads) + ".trace")).string();
+    harness::run_experiment(cfg);
+    EXPECT_EQ(bytes, slurp(cfg.trace_path));
+  }
+}
+
+// Requesting round pipelining alongside tracing must be silently inert (the
+// canonical per-round event order cannot interleave two rounds): the trace
+// bytes match a run with the flag off, at every thread count.
+TEST(TraceDeterminism, PipelineRequestIsInertWhenTracing) {
+  const fs::path dir = scratch("pipeline_traced");
+  harness::ExperimentConfig cfg;
+  cfg.algo = harness::Algo::FloodSet;
+  cfg.attack = harness::Attack::RandomOmission;
+  cfg.n = 96;
+  cfg.t = core::Params::max_t_optimal(cfg.n);
+  cfg.seed = 7;
+
+  cfg.threads = 1;
+  cfg.trace_path = (dir / "off.trace").string();
+  harness::run_experiment(cfg);
+  const std::string bytes = slurp(dir / "off.trace");
+  cfg.pipeline = true;
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    cfg.threads = threads;
+    cfg.trace_path =
+        (dir / ("on_t" + std::to_string(threads) + ".trace")).string();
+    harness::run_experiment(cfg);
+    EXPECT_EQ(bytes, slurp(cfg.trace_path));
+  }
 }
 
 // ---------------------------------------------------------------------------
