@@ -5,12 +5,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "support/check.h"
 
@@ -72,7 +74,8 @@ Blob::~Blob() {
   if (map_ != nullptr) ::munmap(map_, map_size_);
 }
 
-ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
+ArtifactCache::ArtifactCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   OMX_REQUIRE(!ec, "artifact cache: cannot create directory " + dir_ + ": " +
@@ -122,7 +125,50 @@ bool ArtifactCache::put(const std::string& key,
   if (::fsync(fd.fd) != 0) return fail("cannot fsync");
   if (::rename(tmp_path.c_str(), final_path.c_str()) != 0)
     return fail("cannot publish");
+  evict_to_cap();
   return true;
+}
+
+std::size_t ArtifactCache::evict_to_cap() {
+  if (max_bytes_ == 0) return 0;
+  struct Candidate {
+    std::string path;
+    std::uint64_t size;
+    struct timespec atime;
+  };
+  std::vector<Candidate> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& file : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!file.is_regular_file() || file.path().extension() != ".art") continue;
+    struct stat st{};
+    if (::stat(file.path().c_str(), &st) != 0) continue;
+    entries.push_back(Candidate{file.path().string(),
+                                static_cast<std::uint64_t>(st.st_size),
+                                st.st_atim});
+    total += static_cast<std::uint64_t>(st.st_size);
+  }
+  if (total <= max_bytes_) return 0;
+  // Oldest atime first = least recently used: get() bumps atime on every
+  // hit, so the ordering tracks real use even on relatime/noatime mounts.
+  std::sort(entries.begin(), entries.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.atime.tv_sec != b.atime.tv_sec)
+                return a.atime.tv_sec < b.atime.tv_sec;
+              return a.atime.tv_nsec < b.atime.tv_nsec;
+            });
+  std::size_t evicted = 0;
+  for (const Candidate& entry : entries) {
+    if (total <= max_bytes_) break;
+    // unlink, not truncate: a concurrent reader that already mmap'd the
+    // entry keeps its mapping, and one that loses the race gets ENOENT —
+    // a plain miss. A torn entry meets its checksum check first either way.
+    if (::unlink(entry.path.c_str()) != 0) continue;
+    total -= entry.size;
+    ++evictions_;
+    ++evicted;
+  }
+  return evicted;
 }
 
 std::optional<Blob> ArtifactCache::get(const std::string& key) {
@@ -166,6 +212,11 @@ std::optional<Blob> ArtifactCache::get(const std::string& key) {
   blob.payload_size_ = static_cast<std::size_t>(h->payload_size);
   if (fnv1a(blob.bytes()) != h->checksum)
     return corrupt_miss("payload checksum mismatch");
+  // Bump atime explicitly: the LRU eviction order must reflect real hits,
+  // and relatime (the default on most mounts) only updates atime once a
+  // day — an explicit utimensat makes every hit count.
+  const struct timespec times[2] = {{0, UTIME_NOW}, {0, UTIME_OMIT}};
+  (void)::utimensat(AT_FDCWD, path.c_str(), times, 0);
   ++hits_;
   return blob;
 }
@@ -186,8 +237,13 @@ ArtifactCache* ArtifactCache::process_cache() {
   std::call_once(once, [] {
     const char* dir = std::getenv("OMX_ARTIFACT_CACHE");
     if (dir == nullptr || dir[0] == '\0') return;
+    std::uint64_t max_bytes = 0;
+    if (const char* cap = std::getenv("OMX_ARTIFACT_CACHE_MAX_MB")) {
+      const long long mb = std::strtoll(cap, nullptr, 10);
+      if (mb > 0) max_bytes = static_cast<std::uint64_t>(mb) * 1024 * 1024;
+    }
     try {
-      cache = std::make_unique<ArtifactCache>(dir);
+      cache = std::make_unique<ArtifactCache>(dir, max_bytes);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "artifact cache: disabled: %s\n", e.what());
     }

@@ -62,10 +62,17 @@ class Blob {
 class ArtifactCache {
  public:
   /// Opens (creating if needed) a cache rooted at `dir`. Throws
-  /// PreconditionError if the directory cannot be created.
-  explicit ArtifactCache(std::string dir);
+  /// PreconditionError if the directory cannot be created. `max_bytes`
+  /// caps the total size of stored entries (0 = unbounded): after every
+  /// put, least-recently-used entries (by atime — get() bumps it
+  /// explicitly, so relatime mounts cannot starve the signal) are evicted
+  /// until the cache fits.
+  explicit ArtifactCache(std::string dir, std::uint64_t max_bytes = 0);
 
   const std::string& dir() const { return dir_; }
+
+  std::uint64_t max_bytes() const { return max_bytes_; }
+  void set_max_bytes(std::uint64_t max_bytes) { max_bytes_ = max_bytes; }
 
   /// Publish `payload` under `key` (write-to-temp + fsync + rename).
   /// Returns false (and warns on stderr) on I/O failure — the cache is an
@@ -77,11 +84,22 @@ class ArtifactCache {
   /// rather than re-probed forever.
   std::optional<Blob> get(const std::string& key);
 
+  /// Evict least-recently-used entries until total stored bytes fit
+  /// max_bytes (no-op when unbounded). Runs automatically after put();
+  /// public so operators/tests can force a sweep. Returns entries removed.
+  /// Eviction is just unlink: a reader holding a Blob keeps its private
+  /// mapping (mmap outlives the name), and a reader that races the unlink
+  /// sees a plain miss — while a *torn* entry that eviction removes
+  /// mid-read still fails its checksum first; either way a miss, never a
+  /// wrong payload.
+  std::size_t evict_to_cap();
+
   /// Lifetime counters (this ArtifactCache instance only), for tests and
   /// the farm's status endpoint.
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t corrupt_entries() const { return corrupt_; }
+  std::uint64_t evictions() const { return evictions_; }
 
   /// Deliberately corrupt the stored entry for `key` by flipping one
   /// payload byte in place (chaos-testing hook; returns false if absent).
@@ -89,17 +107,20 @@ class ArtifactCache {
 
   /// The process-wide cache configured by the OMX_ARTIFACT_CACHE
   /// environment variable, or nullptr when the variable is unset/empty or
-  /// the directory is unusable. Evaluated once per process (the farm sets
-  /// the variable before forking workers).
+  /// the directory is unusable. OMX_ARTIFACT_CACHE_MAX_MB (when set and
+  /// positive) caps its size. Evaluated once per process (the farm sets
+  /// the variables before forking workers).
   static ArtifactCache* process_cache();
 
  private:
   std::string entry_path(const std::string& key) const;
 
   std::string dir_;
+  std::uint64_t max_bytes_ = 0;  // 0 = unbounded
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t corrupt_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace omx::farm

@@ -9,15 +9,18 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "farm/shard.h"
+#include "farm/test_hooks.h"
 #include "support/check.h"
 
 namespace omx::farm {
@@ -25,6 +28,10 @@ namespace omx::farm {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Lease slot id for items held by remote workers (local forks use their
+/// slot index >= 0).
+constexpr int kRemoteSlot = -2;
 
 std::uint64_t steady_now_ms() {
   return static_cast<std::uint64_t>(
@@ -71,30 +78,39 @@ bool append_line_durably(const std::string& path, const std::string& line) {
   return ok;
 }
 
-/// Chaos-test hooks (see tests/farm_test.cpp and the CI farm-chaos job):
-/// OMX_FARM_TEST_CRASH_KEY=<key>        SIGKILL self on the first attempt
-/// OMX_FARM_TEST_HANG_KEY=<key>[:once]  hang forever (every attempt, or
-///                                      only the first with ":once")
-void maybe_run_chaos_hooks(const std::string& key, std::uint32_t attempt) {
-  if (const char* crash = std::getenv("OMX_FARM_TEST_CRASH_KEY")) {
-    if (key == crash && attempt == 1) ::raise(SIGKILL);
+/// Publish small metadata files (the resolved endpoint, the artifacts
+/// index) atomically: temp + rename, so a reader never sees a torn file.
+bool publish_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out) return false;
   }
-  if (const char* hang = std::getenv("OMX_FARM_TEST_HANG_KEY")) {
-    std::string spec = hang;
-    bool once = false;
-    if (const auto colon = spec.rfind(":once"); colon != std::string::npos &&
-                                                colon == spec.size() - 5) {
-      once = true;
-      spec.resize(colon);
-    }
-    if (key == spec && (!once || attempt == 1)) {
-      // Hang until the daemon is gone (reparenting changes getppid), then
-      // exit: a SIGKILL'd daemon must not leak paused workers.
-      const pid_t daemon = ::getppid();
-      while (::getppid() == daemon) ::usleep(50 * 1000);
-      ::_exit(9);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::string json_escape_min(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
     }
   }
+  return out;
 }
 
 }  // namespace
@@ -106,7 +122,9 @@ Farm::Farm(FarmOptions options)
                               options_.backoff_cap_ms},
              steady_now_ms) {
   OMX_REQUIRE(!options_.dir.empty(), "farm needs a state directory");
-  OMX_REQUIRE(options_.workers >= 1, "farm needs at least one worker");
+  OMX_REQUIRE(options_.workers >= 1 || !options_.listen.empty(),
+              "farm needs local workers or a listen endpoint");
+  OMX_REQUIRE(options_.workers >= 0, "farm worker count cannot be negative");
   std::error_code ec;
   fs::create_directories(shard_dir(), ec);
   OMX_REQUIRE(!ec, "farm: cannot create " + shard_dir() + ": " + ec.message());
@@ -142,8 +160,16 @@ std::string Farm::daemon_shard_path() const {
   return shard_dir() + "/daemon.jsonl";
 }
 
+std::string Farm::remote_shard_path() const {
+  return shard_dir() + "/remote.jsonl";
+}
+
 std::string Farm::socket_path_for(const std::string& dir) {
   return dir + "/farm.sock";
+}
+
+std::string Farm::endpoint_path_for(const std::string& dir) {
+  return dir + "/endpoint";
 }
 
 void Farm::resume_from_shards() {
@@ -159,13 +185,14 @@ void Farm::resume_from_shards() {
   for (const auto& [key, line] : scan.lines) {
     if (queue_.mark_done(key)) ++report_.resumed;
   }
+  if (!scan.lines.empty()) durable_dirty_ = true;
 }
 
 [[noreturn]] void Farm::worker_main(const WorkItem& item, int slot) {
   // Keep the fork narrow: run the trial, make its line durable, exit with
   // the verdict-taxonomy code. _exit (not exit) — the daemon's atexit
   // state is not ours to run.
-  maybe_run_chaos_hooks(item.key, item.attempts);
+  maybe_run_trial_chaos_hooks(item.key, item.attempts);
   harness::Sweep sweep(options_.sweep);
   harness::ExperimentConfig cfg = item.config;
   // Worker lanes off inside workers: farm parallelism is process-level,
@@ -221,6 +248,7 @@ void Farm::record_exhausted(const WorkItem& item, bool hung) {
                  item.key.c_str());
   }
   ++report_.failed;
+  durable_dirty_ = true;
 }
 
 void Farm::reap_finished_workers() {
@@ -238,6 +266,15 @@ void Farm::reap_finished_workers() {
     slots_[slot] = Slot{};
     const WorkItem& item = queue_.item(index);
 
+    if (item.state == ItemState::Done) {
+      // The item was completed by a remote submission while this fork was
+      // still running (watchdog expiry + re-lease, then the race resolved
+      // both ways). The fork's own shard line, if it got that far, is
+      // byte-identical and deduplicates in the merge.
+      if (WIFEXITED(status)) ++report_.exit_codes[WEXITSTATUS(status)];
+      ++report_.duplicate_results;
+      continue;
+    }
     if (WIFEXITED(status)) {
       const int code = WEXITSTATUS(status);
       ++report_.exit_codes[code];
@@ -246,6 +283,7 @@ void Farm::reap_finished_workers() {
         // violations — deterministic, so a re-lease would just re-fail).
         queue_.complete(index);
         ++report_.done;
+        durable_dirty_ = true;
         continue;
       }
       // Any other exit (e.g. 6 = shard append failed) is an unrecorded
@@ -263,17 +301,29 @@ void Farm::reap_finished_workers() {
       // boundary.
       report_.torn_shard_lines +=
           repair_shard(shard_path(static_cast<int>(slot)));
-      if (!queue_.fail(index)) record_exhausted(item, hung);
+      if (item.state == ItemState::Leased && !queue_.fail(index)) {
+        record_exhausted(item, hung);
+      }
     }
   }
 }
 
 void Farm::kill_expired_leases() {
   for (const std::size_t index : queue_.expired()) {
+    bool held_by_local_fork = false;
     for (const auto& slot : slots_) {
       if (slot.pid != -1 && slot.item_index == index) {
         ::kill(static_cast<pid_t>(slot.pid), SIGKILL);
+        held_by_local_fork = true;
       }
+    }
+    if (!held_by_local_fork) {
+      // A remote worker went silent past the watchdog (no heartbeat): there
+      // is no process to kill, so burn the lease directly. If the worker is
+      // merely partitioned and eventually submits, the result deduplicates.
+      ++report_.watchdog_kills;
+      const WorkItem item = queue_.item(index);
+      if (!queue_.fail(index)) record_exhausted(item, true);
     }
   }
 }
@@ -289,9 +339,179 @@ std::string Farm::status_json() const {
      << ",\"releases\":" << queue_.retries()
      << ",\"workers\":" << options_.workers
      << ",\"crashed_workers\":" << report_.crashed_workers
-     << ",\"watchdog_kills\":" << report_.watchdog_kills << "}";
+     << ",\"watchdog_kills\":" << report_.watchdog_kills
+     << ",\"remote_workers\":" << report_.remote_workers_seen
+     << ",\"remote_results\":" << report_.remote_results
+     << ",\"duplicate_results\":" << report_.duplicate_results
+     << ",\"listen\":\""
+     << (worker_listener_ ? worker_listener_->endpoint().to_string() : "")
+     << "\"}";
   return os.str();
 }
+
+// ---------------------------------------------------------------------------
+// The worker protocol (transport-independent request handler).
+
+void Farm::note_artifacts(const std::string& key,
+                          const std::map<std::string, std::string>& msg) {
+  const std::string repro = wire::get(msg, "repro");
+  const std::string trace = wire::get(msg, "trace");
+  if (repro.empty() && trace.empty()) return;
+  auto& entry = artifacts_[key];
+  if (!repro.empty()) entry["repro"] = repro;
+  if (!trace.empty()) entry["trace"] = trace;
+  const std::string worker = wire::get(msg, "worker");
+  if (!worker.empty()) entry["worker"] = worker;
+}
+
+bool Farm::accept_result(const std::string& key, const std::string& line,
+                         const std::map<std::string, std::string>& msg) {
+  const auto index = queue_.find(key);
+  if (!index) {
+    // Not an item of this grid (e.g. a worker outliving a daemon restart
+    // with a narrower grid). Ack so the worker clears its spool; record
+    // nothing — an unknown key must never grow the merge.
+    ++report_.late_results;
+    return true;
+  }
+  const ItemState state = queue_.item(*index).state;
+  if (state == ItemState::Done) {
+    ++report_.duplicate_results;  // idempotent resubmission: drop, ack
+    return true;
+  }
+  if (state == ItemState::Failed) {
+    // The daemon already recorded a synthetic outcome for this key; a late
+    // real result would make the merge nondeterministic (two different
+    // lines for one key), so the synthetic row wins and the late one is
+    // dropped. Deterministically one row per key, always.
+    ++report_.late_results;
+    return true;
+  }
+  std::string parsed_key;
+  harness::TrialOutcome outcome;
+  if (!harness::parse_checkpoint_line(line, &parsed_key, &outcome) ||
+      parsed_key != key) {
+    ++report_.rejected_results;
+    std::fprintf(stderr,
+                 "farm: rejecting result for %s: line does not parse or "
+                 "names a different key\n",
+                 key.c_str());
+    return false;
+  }
+  if (!append_line_durably(remote_shard_path(), line)) {
+    std::fprintf(stderr, "farm: cannot append remote result to %s\n",
+                 remote_shard_path().c_str());
+    return false;  // no ack: the worker keeps its spool copy and retries
+  }
+  queue_.mark_done(key);
+  ++report_.remote_results;
+  ++report_.done;
+  durable_dirty_ = true;
+  note_artifacts(key, msg);
+  return true;
+}
+
+std::string Farm::handle_request(
+    const std::map<std::string, std::string>& msg, RemotePeer* peer) {
+  const std::string type = wire::get(msg, "type");
+  const std::string rid = wire::get(msg, "rid");
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+  const auto reply = [&](Fields fields) {
+    fields.insert(fields.begin() + 1, {"rid", rid});
+    return wire::encode(fields);
+  };
+
+  if (type == "hello") {
+    peer->name = wire::get(msg, "name");
+    ++report_.remote_workers_seen;
+    // Heartbeat cadence: three per watchdog window keeps one lost
+    // heartbeat from expiring a healthy lease.
+    const std::uint64_t hb =
+        options_.watchdog_ms == 0
+            ? 1000
+            : std::max<std::uint64_t>(options_.watchdog_ms / 3, 50);
+    return reply({{"type", "helloed"},
+                  {"heartbeat_ms", std::to_string(hb)},
+                  {"retries", std::to_string(options_.sweep.max_attempts)}});
+  }
+  if (type == "next") {
+    if (queue_.all_settled()) return reply({{"type", "done"}});
+    const auto index = queue_.acquire(kRemoteSlot, /*pid=*/-1);
+    if (!index) {
+      std::uint64_t poll_ms = 200;
+      if (const auto next = queue_.next_deadline_in()) {
+        poll_ms = std::min<std::uint64_t>(*next + 1, 500);
+      }
+      return reply({{"type", "idle"}, {"poll_ms", std::to_string(poll_ms)}});
+    }
+    const WorkItem& item = queue_.item(*index);
+    return reply({{"type", "lease"},
+                  {"key", item.key},
+                  {"epoch", std::to_string(item.attempts)},
+                  {"config", harness::serialize_config(item.config)}});
+  }
+  if (type == "heartbeat") {
+    const auto index = queue_.find(wire::get(msg, "key"));
+    const auto epoch = static_cast<std::uint32_t>(
+        std::strtoul(wire::get(msg, "epoch").c_str(), nullptr, 10));
+    if (index && queue_.renew(*index, epoch)) {
+      return reply({{"type", "ok"}});
+    }
+    return reply({{"type", "stale"}});
+  }
+  if (type == "result") {
+    const std::string key = wire::get(msg, "key");
+    const std::size_t rejected_before = report_.rejected_results;
+    if (accept_result(key, wire::get(msg, "line"), msg)) {
+      return reply({{"type", "ok"}});
+    }
+    // Parse-rejected lines are the worker's bug (the frame checksum passed,
+    // so the bytes arrived intact): telling it to retry would loop forever.
+    // A daemon-side append failure, by contrast, is worth retrying.
+    return reply(
+        {{"type",
+          report_.rejected_results > rejected_before ? "reject" : "retry"}});
+  }
+  if (type == "fail") {
+    // Worker-side trial crash (its fork died unrecorded). Epoch-gated: a
+    // stale failure report must not burn the current lease.
+    const auto index = queue_.find(wire::get(msg, "key"));
+    const auto epoch = static_cast<std::uint32_t>(
+        std::strtoul(wire::get(msg, "epoch").c_str(), nullptr, 10));
+    if (index && queue_.item(*index).state == ItemState::Leased &&
+        queue_.item(*index).attempts == epoch) {
+      ++report_.remote_failures;
+      const WorkItem item = queue_.item(*index);
+      if (!queue_.fail(*index)) record_exhausted(item, false);
+      return reply({{"type", "ok"}});
+    }
+    return reply({{"type", "stale"}});
+  }
+  if (type == "status") {
+    return reply({{"type", "status"}, {"json", status_json()}});
+  }
+  if (type == "results") {
+    std::string lines;
+    for (const auto& [key, line] : scan_shards(shard_dir()).lines) {
+      lines += line;
+      lines += '\n';
+    }
+    return reply({{"type", "results"}, {"lines", lines}});
+  }
+  if (type == "artifacts") {
+    return reply({{"type", "artifacts"}, {"json", artifacts_json()}});
+  }
+  if (type == "follow") {
+    peer->follow = true;
+    durable_dirty_ = true;  // force a push so the subscriber catches up
+    return reply({{"type", "ok"}});
+  }
+  return reply({{"type", "error"},
+                {"detail", "unknown request type '" + type + "'"}});
+}
+
+// ---------------------------------------------------------------------------
+// Event loop plumbing.
 
 int Farm::open_socket() {
   const std::string path = socket_path_for(options_.dir);
@@ -319,10 +539,7 @@ int Farm::open_socket() {
   return listener;
 }
 
-void Farm::serve_socket_once(int listener, int timeout_ms) {
-  pollfd pfd{listener, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
-  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return;
+void Farm::serve_status_client(int listener) {
   const int client = ::accept(listener, nullptr, nullptr);
   if (client < 0) return;
   char buf[256];
@@ -330,6 +547,13 @@ void Farm::serve_socket_once(int listener, int timeout_ms) {
   std::string request(buf, got > 0 ? static_cast<std::size_t>(got) : 0);
   if (const auto nl = request.find('\n'); nl != std::string::npos) {
     request.resize(nl);
+  }
+  if (request == "follow") {
+    // Keep the client: push_follow_lines streams every durable line (past
+    // and future) and finishes with "end\n" when the farm completes.
+    raw_followers_.push_back(RawFollower{client, {}});
+    durable_dirty_ = true;
+    return;
   }
   std::string response;
   if (request == "status") {
@@ -340,18 +564,212 @@ void Farm::serve_socket_once(int listener, int timeout_ms) {
       response += line;
       response += '\n';
     }
+  } else if (request == "artifacts") {
+    response = artifacts_json() + "\n";
   } else {
-    response = "{\"error\":\"unknown request (want: status | results)\"}\n";
+    response =
+        "{\"error\":\"unknown request (want: status | results | artifacts | "
+        "follow)\"}\n";
   }
   write_all_fd(client, response.data(), response.size());
   ::close(client);
 }
 
+void Farm::pump_remote(Remote* remote) {
+  // Drain every frame that is already buffered; Timeout means "no more".
+  for (;;) {
+    std::string payload;
+    const RecvStatus status = remote->conn->recv(&payload, 0);
+    if (status == RecvStatus::Timeout) return;
+    if (status == RecvStatus::Closed) {
+      remote->conn->close();
+      return;
+    }
+    if (status == RecvStatus::Corrupt) {
+      ++report_.corrupt_frames;
+      std::fprintf(stderr,
+                   "farm: dropping connection%s: %s at byte offset %llu — "
+                   "its lease, if any, expires via the watchdog\n",
+                   remote->peer.name.empty()
+                       ? ""
+                       : (" from " + remote->peer.name).c_str(),
+                   remote->conn->corrupt_detail().c_str(),
+                   static_cast<unsigned long long>(
+                       remote->conn->corrupt_offset()));
+      remote->conn->close();
+      return;
+    }
+    std::map<std::string, std::string> msg;
+    if (!wire::decode(payload, &msg)) {
+      // The checksum passed but the payload is not a protocol message: a
+      // peer speaking the wrong protocol. Refuse the connection.
+      ++report_.corrupt_frames;
+      remote->conn->close();
+      return;
+    }
+    const std::string response = handle_request(msg, &remote->peer);
+    if (!response.empty() && !remote->conn->send(response)) {
+      remote->conn->close();
+      return;
+    }
+  }
+}
+
+void Farm::push_follow_lines(bool final_push) {
+  if (!durable_dirty_ && !final_push) return;
+  const bool any_follower =
+      !raw_followers_.empty() ||
+      std::any_of(remotes_.begin(), remotes_.end(),
+                  [](const Remote& r) { return r.peer.follow; });
+  durable_dirty_ = false;
+  if (!any_follower) return;
+  const ShardScan scan = scan_shards(shard_dir());
+
+  for (auto& follower : raw_followers_) {
+    if (follower.fd < 0) continue;
+    bool alive = true;
+    for (const auto& [key, line] : scan.lines) {
+      if (!follower.sent_keys.insert(key).second) continue;
+      const std::string data = line + "\n";
+      if (!write_all_fd(follower.fd, data.data(), data.size())) {
+        alive = false;
+        break;
+      }
+    }
+    if (final_push && alive) {
+      const char end[] = "end\n";
+      write_all_fd(follower.fd, end, sizeof end - 1);
+      alive = false;
+    }
+    if (!alive) {
+      ::close(follower.fd);
+      follower.fd = -1;
+    }
+  }
+  std::erase_if(raw_followers_,
+                [](const RawFollower& f) { return f.fd < 0; });
+
+  for (auto& remote : remotes_) {
+    if (!remote.peer.follow || remote.conn->fd() < 0) continue;
+    bool alive = true;
+    for (const auto& [key, line] : scan.lines) {
+      if (!remote.peer.sent_keys.insert(key).second) continue;
+      if (!remote.conn->send(
+              wire::encode({{"type", "line"}, {"line", line}}))) {
+        alive = false;
+        break;
+      }
+    }
+    if (final_push && alive) {
+      remote.conn->send(wire::encode({{"type", "end"}}));
+    }
+    if (!alive) remote.conn->close();
+  }
+}
+
+void Farm::pump_network(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  std::vector<int> owner;  // parallel: -1 status listener, -2 worker
+                           // listener, else index into remotes_
+  const int status_fd = status_listener_fd_;
+  if (status_fd >= 0) {
+    pfds.push_back(pollfd{status_fd, POLLIN, 0});
+    owner.push_back(-1);
+  }
+  if (worker_listener_) {
+    pfds.push_back(pollfd{worker_listener_->fd(), POLLIN, 0});
+    owner.push_back(-2);
+  }
+  for (std::size_t i = 0; i < remotes_.size(); ++i) {
+    if (remotes_[i].conn->fd() < 0) continue;
+    pfds.push_back(pollfd{remotes_[i].conn->fd(), POLLIN, 0});
+    owner.push_back(static_cast<int>(i));
+  }
+  if (pfds.empty()) {
+    ::poll(nullptr, 0, timeout_ms);
+  } else {
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready > 0) {
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (owner[i] == -1) {
+          serve_status_client(status_fd);
+        } else if (owner[i] == -2) {
+          if (auto conn = worker_listener_->accept(0)) {
+            remotes_.push_back(Remote{std::move(conn), RemotePeer{}});
+          }
+        } else {
+          pump_remote(&remotes_[static_cast<std::size_t>(owner[i])]);
+        }
+      }
+    }
+  }
+  std::erase_if(remotes_,
+                [](const Remote& r) { return r.conn->fd() < 0; });
+  push_follow_lines(false);
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts index (repro/trace capture paths per key).
+
+std::string Farm::artifacts_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [key, fields] : artifacts_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << key << "\":{";
+    bool inner_first = true;
+    for (const auto& [k, v] : fields) {
+      if (!inner_first) os << ",";
+      inner_first = false;
+      os << "\"" << k << "\":\"" << json_escape_min(v) << "\"";
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+void Farm::write_artifacts_index() {
+  // Local captures: Sweep writes <repro_dir>/<key>.repro (+ .trace) inside
+  // the forked worker; the daemon shares that directory, so existence is
+  // the index. Remote captures were reported in the result messages and
+  // already sit in artifacts_.
+  std::error_code ec;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const std::string& key = queue_.item(i).key;
+    const std::string stem = options_.sweep.repro_dir + "/" + key;
+    if (fs::exists(stem + ".repro", ec)) {
+      artifacts_[key]["repro"] = stem + ".repro";
+    }
+    if (fs::exists(stem + ".trace", ec)) {
+      artifacts_[key]["trace"] = stem + ".trace";
+    }
+  }
+  if (!publish_file(artifacts_path(), artifacts_json() + "\n")) {
+    std::fprintf(stderr, "farm: cannot publish %s\n",
+                 artifacts_path().c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The daemon loop.
+
 FarmReport Farm::run() {
   // A client vanishing mid-response must not kill the daemon.
   ::signal(SIGPIPE, SIG_IGN);
   resume_from_shards();
-  const int listener = options_.serve_socket ? open_socket() : -1;
+  status_listener_fd_ = options_.serve_socket ? open_socket() : -1;
+  if (!options_.listen.empty()) {
+    worker_listener_ =
+        std::make_unique<Listener>(Endpoint::parse(options_.listen));
+    // Publish the resolved endpoint (port 0 → real port) for scripts and
+    // workers that only know the farm directory.
+    publish_file(endpoint_path_for(options_.dir),
+                 worker_listener_->endpoint().to_string() + "\n");
+  }
 
   while (!queue_.all_settled()) {
     kill_expired_leases();
@@ -364,21 +782,43 @@ FarmReport Farm::run() {
       timeout_ms = static_cast<int>(
           std::min<std::uint64_t>(*next + 1, 100));
     }
-    if (listener >= 0) {
-      serve_socket_once(listener, timeout_ms);
-    } else {
-      ::poll(nullptr, 0, timeout_ms);
-    }
+    pump_network(timeout_ms);
   }
+  reap_finished_workers();  // collect any last exits before merging
 
   const ShardScan merged = merge_shards(shard_dir(), merged_path());
   report_.torn_shard_lines += merged.torn_lines;
   report_.merged_path = merged_path();
   report_.releases = queue_.retries();
-  if (listener >= 0) {
-    ::close(listener);
+  write_artifacts_index();
+  push_follow_lines(/*final_push=*/true);
+
+  // Linger briefly so workers — connected or just now reconnecting after a
+  // severed link — hear "done" instead of timing out against a vanished
+  // daemon (their reconnect deadline would still end the run correctly —
+  // this just ends it politely and promptly).
+  const std::uint64_t linger_until =
+      steady_now_ms() + options_.shutdown_linger_ms;
+  while (worker_listener_ && steady_now_ms() < linger_until) {
+    pump_network(20);
+    push_follow_lines(/*final_push=*/true);
+  }
+
+  if (status_listener_fd_ >= 0) {
+    ::close(status_listener_fd_);
+    status_listener_fd_ = -1;
     ::unlink(socket_path_for(options_.dir).c_str());
   }
+  if (worker_listener_) {
+    ::unlink(endpoint_path_for(options_.dir).c_str());
+    worker_listener_.reset();
+  }
+  for (auto& remote : remotes_) remote.conn->close();
+  remotes_.clear();
+  for (auto& follower : raw_followers_) {
+    if (follower.fd >= 0) ::close(follower.fd);
+  }
+  raw_followers_.clear();
   return report_;
 }
 

@@ -28,15 +28,48 @@
 //                      rebuilt. Decisions and metrics never change.
 //
 // While running, the daemon serves newline-delimited requests ("status",
-// "results") over a Unix-domain socket at `<dir>/farm.sock`, answering
-// with JSON — any number of clients can poll a running farm.
+// "results", "artifacts", "follow") over a Unix-domain socket at
+// `<dir>/farm.sock`, answering with JSON — any number of clients can poll
+// (or, with "follow", stream) a running farm.
+//
+// Remote workers (FarmOptions::listen nonempty) extend the failure domain
+// across the wire: `omxfarm work --connect <endpoint>` processes speak the
+// framed, checksummed transport protocol (transport.h) and are leased the
+// same config-hash items as local forks. The omission-model discipline:
+//
+//   message lost      → request/response framing plus the worker's retry
+//                       loop re-asks; a lost result resubmits from the
+//                       worker's durable spool; a lost heartbeat at worst
+//                       expires the lease, which re-queues the item.
+//   message duplicated→ every submission is idempotent: the daemon keys
+//                       results by config hash and drops the second copy,
+//                       so no key ever yields two merged rows.
+//   message delayed   → lease epochs (the item's attempt counter) make
+//                       stale heartbeats and failure reports inert; stale
+//                       *results* are accepted on purpose — deterministic
+//                       trials make them byte-identical to fresh ones.
+//   connection severed→ the worker reconnects with capped exponential
+//                       backoff and resumes its in-flight trial; the
+//                       daemon's lease watchdog re-queues items whose
+//                       workers stay silent past the deadline.
+//   frame corrupted   → the transport checksum rejects it; the daemon
+//                       drops the connection (the lease watchdog recovers
+//                       the item), the worker exits 5 (CorruptInputError
+//                       with the byte offset) rather than act on bad bytes.
+//   daemon killed     → durable shard lines survive; a restarted daemon
+//                       rescans them while live workers finish in-flight
+//                       trials, reconnect, and resubmit — dedup by key
+//                       keeps the merge equal to a single-process sweep.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "farm/transport.h"
 #include "farm/workqueue.h"
 #include "harness/sweep.h"
 
@@ -45,8 +78,18 @@ namespace omx::farm {
 struct FarmOptions {
   /// Farm state directory: shards/, merged.jsonl, farm.sock, cache/.
   std::string dir;
-  /// Concurrent fork-isolated workers.
+  /// Concurrent fork-isolated local workers (0 = remote workers only;
+  /// requires a listen endpoint).
   int workers = 4;
+  /// Worker/streaming endpoint ("unix:<path>" or "tcp:<host>:<port>",
+  /// port 0 = kernel-assigned). Empty = no remote serving. The resolved
+  /// endpoint is published to <dir>/endpoint so scripts can find a
+  /// port-0 daemon.
+  std::string listen;
+  /// After the last item settles, keep answering the worker endpoint for
+  /// this long so connected workers receive "done" instead of discovering
+  /// the daemon's death through their reconnect deadline.
+  std::uint64_t shutdown_linger_ms = 500;
   /// Lease watchdog (ms): a worker past this deadline is SIGKILLed and the
   /// lease failed. 0 = none. Distinct from the *cooperative* per-trial
   /// deadline (sweep.trial_deadline_ms), which a healthy engine honors by
@@ -78,6 +121,14 @@ struct FarmReport {
   std::size_t crashed_workers = 0;   // exits by signal (not watchdog)
   std::size_t watchdog_kills = 0;    // leases reaped by the watchdog
   std::size_t torn_shard_lines = 0;  // debris dropped by repair/merge
+  // Remote-transport accounting:
+  std::size_t remote_workers_seen = 0;  // distinct hello'd connections
+  std::size_t remote_results = 0;       // lines accepted over the wire
+  std::size_t duplicate_results = 0;    // resubmissions dropped by key
+  std::size_t late_results = 0;         // results for already-settled items
+  std::size_t rejected_results = 0;     // unparseable/mismatched lines
+  std::size_t remote_failures = 0;      // worker-reported trial crashes
+  std::size_t corrupt_frames = 0;       // transport checksum rejections
   /// Worker exit-code histogram (0 ok-recorded, 2/3/4 the PR 4 taxonomy).
   std::map<int, std::uint64_t> exit_codes;
   std::string merged_path;
@@ -98,10 +149,25 @@ class Farm {
   /// One-line JSON status snapshot (the socket's "status" answer).
   std::string status_json() const;
 
-  static std::string socket_path_for(const std::string& dir);
+  /// The worker-protocol request handler, transport-independent: one
+  /// decoded request message in, one response message out (empty = no
+  /// response; the connection state records side effects like follow
+  /// subscription). Public so protocol tests can drive lease/heartbeat/
+  /// result semantics without sockets; the event loop calls it per frame.
+  struct RemotePeer {
+    std::string name;     // from hello
+    bool follow = false;  // subscribed to the merged-line stream
+    std::set<std::string> sent_keys;  // follow: lines already pushed
+  };
+  std::string handle_request(const std::map<std::string, std::string>& msg,
+                             RemotePeer* peer);
 
-  /// Client side: send `request` ("status" or "results") to the farm
-  /// serving <dir>/farm.sock and return the raw response. Throws
+  static std::string socket_path_for(const std::string& dir);
+  /// Path of the file the daemon publishes its resolved listen endpoint to.
+  static std::string endpoint_path_for(const std::string& dir);
+
+  /// Client side: send `request` ("status", "results", "artifacts") to the
+  /// farm serving <dir>/farm.sock and return the raw response. Throws
   /// PreconditionError if no daemon is listening there.
   static std::string query(const std::string& dir, const std::string& request);
 
@@ -110,11 +176,23 @@ class Farm {
     std::int64_t pid = -1;          // -1 = free
     std::size_t item_index = 0;
   };
+  struct Remote {
+    std::unique_ptr<Conn> conn;
+    RemotePeer peer;
+  };
+  struct RawFollower {
+    int fd = -1;
+    std::set<std::string> sent_keys;
+  };
 
   std::string shard_dir() const { return options_.dir + "/shards"; }
   std::string shard_path(int slot) const;
   std::string daemon_shard_path() const;
+  std::string remote_shard_path() const;
   std::string merged_path() const { return options_.dir + "/merged.jsonl"; }
+  std::string artifacts_path() const {
+    return options_.dir + "/merged.artifacts.json";
+  }
 
   void resume_from_shards();
   void spawn_ready_workers();
@@ -123,12 +201,29 @@ class Farm {
   void kill_expired_leases();
   void record_exhausted(const WorkItem& item, bool hung);
   int open_socket();
-  void serve_socket_once(int listener, int timeout_ms);
+  void pump_network(int timeout_ms);
+  void serve_status_client(int listener);
+  void pump_remote(Remote* remote);
+  void push_follow_lines(bool final_push);
+  std::string artifacts_json() const;
+  void write_artifacts_index();
+  bool accept_result(const std::string& key, const std::string& line,
+                     const std::map<std::string, std::string>& msg);
+  void note_artifacts(const std::string& key,
+                      const std::map<std::string, std::string>& msg);
 
   FarmOptions options_;
   WorkQueue queue_;
   std::vector<Slot> slots_;
   FarmReport report_;
+  int status_listener_fd_ = -1;  // <dir>/farm.sock listener (raw protocol)
+  std::unique_ptr<Listener> worker_listener_;
+  std::vector<Remote> remotes_;
+  std::vector<RawFollower> raw_followers_;
+  bool durable_dirty_ = false;  // new lines since the last follow push
+  /// key → {repro path, trace path, worker name}: the artifacts index,
+  /// built from local capture paths and remote workers' reports.
+  std::map<std::string, std::map<std::string, std::string>> artifacts_;
 };
 
 }  // namespace omx::farm

@@ -85,6 +85,25 @@ bool WorkQueue::fail(std::size_t index) {
   return true;
 }
 
+std::optional<std::size_t> WorkQueue::find(const std::string& key) const {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].key == key) return i;
+  }
+  return std::nullopt;
+}
+
+bool WorkQueue::renew(std::size_t index, std::uint32_t epoch) {
+  WorkItem& item = items_.at(index);
+  if (item.state != ItemState::Leased || item.attempts != epoch ||
+      item.watchdog_fired) {
+    return false;
+  }
+  if (options_.watchdog_ms != 0) {
+    item.lease_deadline_ms = now_() + options_.watchdog_ms;
+  }
+  return true;
+}
+
 std::vector<std::size_t> WorkQueue::expired() {
   std::vector<std::size_t> out;
   if (options_.watchdog_ms == 0) return out;

@@ -16,7 +16,20 @@
 //     budget (max_attempts) is exhausted the item is marked Failed and the
 //     caller records a synthetic outcome for it;
 //   * expired() lists leases whose watchdog deadline has passed so the
-//     daemon can SIGKILL the hung worker and fail() the lease.
+//     daemon can SIGKILL the hung worker and fail() the lease. Remote
+//     leases (no pid to kill) are failed directly: a silent worker's item
+//     re-queues and its late result, if it ever arrives, deduplicates.
+//
+// Lease epochs: an item's attempt counter doubles as a monotonic lease
+// epoch. Every message a remote worker sends about a lease (heartbeat,
+// trial-failure report) carries the epoch it was granted; renew() and the
+// daemon's handlers compare it against the current attempts so a message
+// from a superseded lease — delayed, duplicated, or from a worker that was
+// presumed dead and re-leased — can never extend or fail the *current*
+// lease. Result submission is deliberately NOT epoch-gated: the engine is
+// deterministic, so a stale lease's result line is byte-identical to the
+// one the current lease would produce, and accepting it early just saves
+// work (the current lease's own submission then deduplicates).
 //
 // Re-runs keep the item's original config (and therefore its seed): the
 // engine is deterministic, so a retried trial converges to exactly the line
@@ -103,6 +116,15 @@ class WorkQueue {
   /// Returns true if the item was re-queued (with backoff), false if its
   /// retry budget is exhausted and it is now Failed.
   bool fail(std::size_t index);
+
+  /// Index of the item with this key, or nullopt if unknown.
+  std::optional<std::size_t> find(const std::string& key) const;
+
+  /// Heartbeat: push the lease deadline out to now + watchdog_ms, but only
+  /// when the item is still leased under the same epoch (attempts count) —
+  /// a heartbeat from a superseded lease must not keep the current one
+  /// alive. Returns false for a stale epoch or a non-leased item.
+  bool renew(std::size_t index, std::uint32_t epoch);
 
   /// Indices of leased items whose watchdog deadline has passed (marks
   /// them watchdog_fired so the daemon kills each hung worker once).

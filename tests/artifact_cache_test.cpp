@@ -4,7 +4,11 @@
 // entry points that consult it.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+
 #include <cstdint>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -83,6 +87,102 @@ TEST(ArtifactCache, TornHeaderOrPayloadIsAMiss) {
   fs::resize_file(dir / "cut.art", fs::file_size(dir / "cut.art") - 5);
   EXPECT_FALSE(cache.get("cut").has_value());
   EXPECT_GE(cache.corrupt_entries(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// LRU-by-atime eviction under a size cap.
+
+/// Set an entry's atime to `seconds_ago` before now (mtime untouched), so
+/// the LRU order is explicit instead of racing the filesystem clock.
+void age_atime(const fs::path& path, long seconds_ago) {
+  const struct timespec times[2] = {{::time(nullptr) - seconds_ago, 0},
+                                    {0, UTIME_OMIT}};
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+}
+
+TEST(ArtifactCacheEviction, EvictsLeastRecentlyUsedFirst) {
+  const fs::path dir = scratch("lru");
+  ArtifactCache cache(dir.string());
+  const std::vector<std::uint8_t> payload(1000, 0x2a);  // 1032 B on disk
+  ASSERT_TRUE(cache.put("a", payload));
+  ASSERT_TRUE(cache.put("b", payload));
+  ASSERT_TRUE(cache.put("c", payload));
+  age_atime(dir / "a.art", 30);
+  age_atime(dir / "b.art", 300);  // least recently used
+  age_atime(dir / "c.art", 10);
+
+  cache.set_max_bytes(2 * 1032 + 100);  // room for exactly two entries
+  EXPECT_EQ(cache.evict_to_cap(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(fs::exists(dir / "b.art"));
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+}
+
+TEST(ArtifactCacheEviction, PutEvictsAutomaticallyAndHitsBumpAtime) {
+  const fs::path dir = scratch("lru_put");
+  ArtifactCache cache(dir.string(), /*max_bytes=*/2 * 1032 + 100);
+  const std::vector<std::uint8_t> payload(1000, 0x2a);
+  ASSERT_TRUE(cache.put("a", payload));
+  ASSERT_TRUE(cache.put("b", payload));
+  age_atime(dir / "a.art", 300);
+  age_atime(dir / "b.art", 200);
+  // A hit on the nominally-older entry bumps its atime (explicitly — the
+  // mount's relatime policy must not be able to starve the signal) so the
+  // idle one is the eviction victim.
+  ASSERT_TRUE(cache.get("a").has_value());
+
+  ASSERT_TRUE(cache.put("c", payload));  // put runs the eviction sweep
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(fs::exists(dir / "b.art"));
+  EXPECT_TRUE(fs::exists(dir / "a.art"));
+  EXPECT_TRUE(fs::exists(dir / "c.art"));
+}
+
+TEST(ArtifactCacheEviction, TornEntryEvictedMidReadIsStillAChecksummedMiss) {
+  const fs::path dir = scratch("lru_torn");
+  ArtifactCache cache(dir.string());
+  const auto payload = bytes_of("bytes a reader is holding mapped");
+  ASSERT_TRUE(cache.put("k", payload));
+
+  // A reader maps the entry (the "mid-read" state)...
+  auto held = cache.get("k");
+  ASSERT_TRUE(held.has_value());
+
+  // ...then eviction removes it out from under the reader.
+  cache.set_max_bytes(1);
+  EXPECT_EQ(cache.evict_to_cap(), 1u);
+  EXPECT_FALSE(fs::exists(dir / "k.art"));
+
+  // The held mapping is untouched — eviction is unlink, and mmap outlives
+  // the name — so it still carries the validated original bytes. (This is
+  // exactly why eviction must never truncate in place: a shrinking file IS
+  // visible through an existing mapping.)
+  ASSERT_EQ(held->bytes().size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         held->bytes().begin()));
+
+  // A fresh read of the now-gone key is a plain miss; and a torn entry that
+  // eviction has NOT yet reached is a checksummed miss — in neither order
+  // can a reader observe a wrong payload.
+  EXPECT_FALSE(cache.get("k").has_value());
+  cache.set_max_bytes(0);  // eviction out of the picture for the torn case
+  ASSERT_TRUE(cache.put("torn", payload));
+  fs::resize_file(dir / "torn.art", fs::file_size(dir / "torn.art") - 3);
+  const auto before = cache.corrupt_entries();
+  EXPECT_FALSE(cache.get("torn").has_value());
+  EXPECT_EQ(cache.corrupt_entries(), before + 1);
+}
+
+TEST(ArtifactCacheEviction, UnboundedCacheNeverEvicts) {
+  const fs::path dir = scratch("lru_off");
+  ArtifactCache cache(dir.string());  // max_bytes = 0: unbounded
+  const std::vector<std::uint8_t> payload(4096, 0x11);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cache.put("k" + std::to_string(i), payload));
+  }
+  EXPECT_EQ(cache.evict_to_cap(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 TEST(ArtifactCache, ProcessCacheFollowsTheEnvironment) {

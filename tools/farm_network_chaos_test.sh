@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Network-chaos matrix for the farm's wire transport (CI: farm-network-chaos).
+#
+# Every scenario runs `omxfarm serve` leasing a sweep grid to `omxfarm work
+# --connect` processes whose links misbehave on a seeded, deterministic
+# schedule (drop / delay / duplicate / sever), plus a daemon kill -9 +
+# restart case — and every scenario's merged.jsonl must be byte-identical
+# (after the canonical key sort both sides already use) to a single-process
+# `omxsim --checkpoint` sweep of the same grid. Lost frames re-ask,
+# duplicated submissions dedup by config key, severed links reconnect and
+# resubmit from the worker's durable spool: the merge never notices.
+#
+# Usage: farm_network_chaos_test.sh <omxsim> <omxfarm> <work-dir>
+set -u
+
+OMXSIM=$(readlink -f "$1")
+OMXFARM=$(readlink -f "$2")
+WORK=$3
+
+# The grid deliberately includes a per-trial deadline: it must fold into the
+# config hash identically on the daemon, the remote workers, and omxsim.
+GRID="--algo optimal --attack rand-omit --n 48 --seeds 4 --seed 3 \
+      --deadline-ms 20000"
+WATCHDOG=10000
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# Wait for a daemon to publish its resolved endpoint (port 0 discovery).
+endpoint_of() {
+  local dir=$1 i
+  for i in $(seq 1 500); do
+    if [ -s "$dir/endpoint" ]; then
+      cat "$dir/endpoint"
+      return 0
+    fi
+    sleep 0.02
+  done
+  return 1
+}
+
+# start_worker <farm-dir> <worker-dir> <chaos-spec>
+start_worker() {
+  local ep
+  ep=$(endpoint_of "$1") || fail "$1 never published an endpoint"
+  "$OMXFARM" work --connect "$ep" --dir "$2" --name "$(basename "$2")" \
+    --chaos "$3" --backoff-ms 5 --reconnect-ms 8000 \
+    > "$2.log" 2>&1 &
+}
+
+# scenario <name> <listen> <chaos-w0> <chaos-w1> [strict-workers]
+#
+# serve + two chaos workers, then cmp the merge against the reference.
+# strict-workers=no tolerates worker exit 1 (a link severed during the
+# shutdown linger makes "daemon unreachable" a legitimate last word — the
+# merge, already settled, is still held to byte-identity).
+scenario() {
+  local name=$1 listen=$2 chaos0=$3 chaos1=$4 strict=${5:-yes}
+  echo "=== scenario: $name ==="
+  "$OMXFARM" serve --dir "farm-$name" --listen "$listen" \
+    --watchdog-ms "$WATCHDOG" $GRID > "farm-$name.out" 2> "farm-$name.log" &
+  local daemon=$!
+  start_worker "farm-$name" "w0-$name" "$chaos0"
+  local w0=$!
+  start_worker "farm-$name" "w1-$name" "$chaos1"
+  local w1=$!
+  wait "$daemon" || fail "$name: daemon exited nonzero"
+  local code0=0 code1=0
+  wait "$w0" || code0=$?
+  wait "$w1" || code1=$?
+  if [ "$strict" = yes ]; then
+    [ "$code0" -eq 0 ] || { cat "w0-$name.log"; fail "$name: w0 exit $code0"; }
+    [ "$code1" -eq 0 ] || { cat "w1-$name.log"; fail "$name: w1 exit $code1"; }
+  else
+    [ "$code0" -le 1 ] || { cat "w0-$name.log"; fail "$name: w0 exit $code0"; }
+    [ "$code1" -le 1 ] || { cat "w1-$name.log"; fail "$name: w1 exit $code1"; }
+  fi
+  cmp ref.sorted "farm-$name/merged.jsonl" \
+    || fail "$name: merged.jsonl diverges from the reference"
+  echo "=== $name OK ==="
+}
+
+# Reference: the single-process sweep (keys are 16-hex line prefixes, so
+# lexicographic sort IS the farm's canonical merge order).
+"$OMXSIM" $GRID --csv --checkpoint ref.jsonl > /dev/null \
+  || fail "reference sweep failed"
+sort ref.jsonl > ref.sorted
+
+# 1. Clean TCP run: framing + leases with nobody misbehaving.
+scenario clean "tcp:127.0.0.1:0" "" ""
+
+# 2. Dropped frames both ways: requests re-ask, lost acks resubmit (the
+#    daemon answers the duplicates with idempotent acks).
+scenario drop "tcp:127.0.0.1:0" \
+  "seed=7,drop=0.15" "seed=8,drop=0.12"
+
+# 3. Delay + duplication: stale rids are discarded, duplicated submissions
+#    dedup by key — no config hash may ever yield two rows.
+scenario delay-dup "tcp:127.0.0.1:0" \
+  "seed=9,delay=0.3:15,dup=0.2" "seed=10,delay=0.25:10,dup=0.25"
+
+# 4. Severed links mid-trial: capped-backoff reconnect + spool resubmission;
+#    the lease watchdog re-leases anything a dead link was holding.
+scenario sever "tcp:127.0.0.1:0" \
+  "seed=11,sever=0.05,drop=0.05" "seed=12,sever=0.04,drop=0.05" no
+
+# 5. The same matrix rides the AF_UNIX backend unchanged.
+scenario unix "unix:$WORK/chaos.sock" \
+  "seed=13,drop=0.1,dup=0.1" "seed=14,delay=0.2:10,sever=0.03" no
+
+# 6. Daemon kill -9 + restart: live workers keep their in-flight trials,
+#    reconnect to the reborn daemon (same endpoint), resubmit from their
+#    spools; the restarted daemon resumes from shards and the merge still
+#    equals the reference.
+echo "=== scenario: daemon-restart ==="
+"$OMXFARM" serve --dir farm-restart --listen "tcp:127.0.0.1:0" \
+  --watchdog-ms "$WATCHDOG" $GRID > /dev/null 2> farm-restart.log.1 &
+daemon=$!
+ep=$(endpoint_of farm-restart) || fail "restart: no endpoint published"
+start_worker farm-restart w0-restart "seed=15,drop=0.1"
+w0=$!
+start_worker farm-restart w1-restart ""
+w1=$!
+sleep 1
+kill -9 "$daemon" 2> /dev/null
+wait "$daemon" 2> /dev/null
+echo "shard lines at kill: $(cat farm-restart/shards/*.jsonl 2>/dev/null | wc -l)"
+# Rebind the exact endpoint the workers are still redialing.
+"$OMXFARM" serve --dir farm-restart --listen "$ep" \
+  --watchdog-ms "$WATCHDOG" $GRID > /dev/null 2> farm-restart.log.2 \
+  || fail "restart: second daemon exited nonzero"
+code0=0; code1=0
+wait "$w0" || code0=$?
+wait "$w1" || code1=$?
+[ "$code0" -le 1 ] || { cat w0-restart.log; fail "restart: w0 exit $code0"; }
+[ "$code1" -le 1 ] || { cat w1-restart.log; fail "restart: w1 exit $code1"; }
+cmp ref.sorted farm-restart/merged.jsonl \
+  || fail "restart: merged.jsonl diverges from the reference"
+echo "=== daemon-restart OK ==="
+
+echo "farm network chaos matrix: all scenarios byte-identical to reference"

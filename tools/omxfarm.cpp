@@ -2,10 +2,22 @@
 //
 //   omxfarm run    --dir farm --algo optimal --attack chaos \
 //                  --n 64,128,256 --seeds 25 --workers 4 --watchdog-ms 60000
+//   omxfarm serve  --dir farm --listen tcp:0.0.0.0:7717 [grid flags]
+//                                       # daemon leasing to remote workers
+//   omxfarm work   --connect host:7717 --dir w1   # remote worker process
 //   omxfarm status  --dir farm          # query a running daemon's socket
 //   omxfarm results --dir farm          # live merged view over the socket
+//   omxfarm results --dir farm --follow # stream lines as they merge
+//   omxfarm results --dir farm --artifacts  # repro/trace paths per key
 //   omxfarm merge   --dir farm          # offline shard merge (no daemon)
 //   omxfarm warm    --dir farm --n 64,128,256   # pre-build cached artifacts
+//
+// `serve` is `run` with remote-first defaults: no local workers unless
+// asked, a listen endpoint for `omxfarm work --connect` processes (the
+// resolved address — port 0 is allowed — is published to <dir>/endpoint),
+// and a lease watchdog on by default because remote workers fail silently.
+// `status`/`results` also accept --connect to query a daemon over its
+// worker endpoint instead of the local Unix socket.
 //
 // `run` expands the sweep grid (each --n × each seed) into config-hash-keyed
 // work items and drives them through farm::Farm: every item runs in a
@@ -19,11 +31,19 @@
 // `omxsim --checkpoint` sweep of the same grid.
 //
 // Exit codes: 0 = every item recorded with verdict ok; 1 = some recorded
-// trial failed its verdict or spec; 2 = bad usage / precondition;
-// 7 = retry budget exhausted for at least one item (synthetic outcome
-// recorded so merged.jsonl still covers the full grid).
+// trial failed its verdict or spec (for `work`: the daemon became
+// unreachable before saying "done"); 2 = bad usage / precondition;
+// 5 = corrupt transport frame (checksum failure, reported with its byte
+// offset) — bad bytes are refused, never acted on; 7 = retry budget
+// exhausted for at least one item (synthetic outcome recorded so
+// merged.jsonl still covers the full grid).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,7 +51,9 @@
 #include "core/params.h"
 #include "farm/artifact_cache.h"
 #include "farm/farm.h"
+#include "farm/remote_worker.h"
 #include "farm/shard.h"
+#include "farm/transport.h"
 #include "graph/comm_graph.h"
 #include "groups/partition.h"
 #include "harness/experiment.h"
@@ -115,13 +137,30 @@ std::vector<harness::ExperimentConfig> expand_grid(const ArgParser& args) {
   return grid;
 }
 
-int cmd_run(int argc, char** argv) {
-  ArgParser args("omxfarm run", "run a sweep grid under the farm daemon");
+/// `run` and `serve` share everything but their defaults: serve assumes the
+/// work arrives over the wire (no local forks unless asked) and remote
+/// workers fail silently, so the lease watchdog defaults on.
+int cmd_run(int argc, char** argv, bool serve) {
+  ArgParser args(serve ? "omxfarm serve" : "omxfarm run",
+                 serve ? "serve a sweep grid to remote workers"
+                       : "run a sweep grid under the farm daemon");
   args.add_option("dir", "farm", "farm state directory");
-  args.add_option("workers", "4", "concurrent fork-isolated workers");
-  args.add_option("watchdog-ms", "0",
+  args.add_option("workers", serve ? "0" : "4",
+                  "concurrent fork-isolated local workers");
+  args.add_option("listen", serve ? "tcp:127.0.0.1:0" : "",
+                  "worker/streaming endpoint (unix:<path> | "
+                  "tcp:<host>:<port>, port 0 = kernel-assigned; resolved "
+                  "address published to <dir>/endpoint)");
+  args.add_option("watchdog-ms", serve ? "15000" : "0",
                   "lease watchdog: SIGKILL a worker past this deadline "
                   "(0 = none)");
+  // Long enough to cover several worker response-resend windows (750 ms
+  // each): a lossy link can drop the "done" answer repeatedly, and a worker
+  // that never hears it burns its whole reconnect deadline on a dead
+  // endpoint.
+  args.add_option("linger-ms", serve ? "6000" : "500",
+                  "after the grid settles, keep answering workers this long "
+                  "so they hear \"done\"");
   args.add_option("farm-retries", "2",
                   "extra leases per item after a crash/hang (0 = none)");
   args.add_option("backoff-ms", "100", "base re-lease backoff (doubles)");
@@ -148,7 +187,10 @@ int cmd_run(int argc, char** argv) {
   farm::FarmOptions opts;
   opts.dir = args.get("dir");
   opts.workers = static_cast<int>(args.get_int("workers"));
+  opts.listen = args.get("listen");
   opts.watchdog_ms = static_cast<std::uint64_t>(args.get_int("watchdog-ms"));
+  opts.shutdown_linger_ms =
+      static_cast<std::uint64_t>(args.get_int("linger-ms"));
   opts.max_attempts =
       1 + static_cast<std::uint32_t>(args.get_int("farm-retries"));
   opts.backoff_base_ms =
@@ -179,6 +221,16 @@ int cmd_run(int argc, char** argv) {
                static_cast<unsigned long long>(report.releases),
                report.crashed_workers, report.watchdog_kills,
                report.torn_shard_lines);
+  if (report.remote_workers_seen > 0 || report.corrupt_frames > 0) {
+    std::fprintf(stderr,
+                 "farm: %zu remote hello(s): %zu results over the wire "
+                 "(%zu duplicate, %zu late, %zu rejected), %zu reported "
+                 "crashes, %zu corrupt frame(s)\n",
+                 report.remote_workers_seen, report.remote_results,
+                 report.duplicate_results, report.late_results,
+                 report.rejected_results, report.remote_failures,
+                 report.corrupt_frames);
+  }
   std::printf("%s\n", report.merged_path.c_str());
   if (!report.all_ok()) return 7;
   // Recorded-but-failed trials (verdict != ok, or spec NO) exit 1, like a
@@ -189,9 +241,107 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+/// Stream "follow" over the raw Unix status socket: print every merged
+/// line as the daemon pushes it, until the terminal "end". Exit 1 when the
+/// daemon vanishes mid-stream (EOF without "end").
+int raw_follow(const std::string& dir) {
+  const std::string path = farm::Farm::socket_path_for(dir);
+  sockaddr_un addr{};
+  OMX_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "farm: socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  OMX_REQUIRE(fd >= 0, "farm: cannot create socket");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw PreconditionError("farm: no daemon listening at " + path + ": " +
+                            std::strerror(errno));
+  }
+  const char request[] = "follow\n";
+  (void)::send(fd, request, sizeof request - 1, 0);
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;  // EOF without "end": the daemon died
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line == "end") {
+        ::close(fd);
+        return 0;
+      }
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    }
+  }
+  ::close(fd);
+  return 1;
+}
+
+/// Query a daemon over its framed worker endpoint (--connect). A corrupt
+/// frame throws CorruptInputError → exit 5 with the byte offset, same as a
+/// corrupt checkpoint file.
+int framed_query(const std::string& connect, const std::string& verb,
+                 bool follow) {
+  auto conn = farm::dial(farm::Endpoint::parse(connect));
+  OMX_REQUIRE(conn != nullptr, "cannot connect to " + connect);
+  const auto check_corrupt = [&](farm::RecvStatus st) {
+    if (st == farm::RecvStatus::Corrupt) {
+      throw CorruptInputError(connect, conn->corrupt_offset(),
+                              "transport frame: " + conn->corrupt_detail());
+    }
+  };
+  OMX_REQUIRE(conn->send(farm::wire::encode(
+                  {{"type", follow ? "follow" : verb}, {"rid", "1"}})),
+              "cannot send request to " + connect);
+  for (;;) {
+    std::string payload;
+    const farm::RecvStatus st = conn->recv(&payload, follow ? 1000 : 5000);
+    check_corrupt(st);
+    if (st == farm::RecvStatus::Timeout) {
+      if (follow) continue;  // a quiet farm is still a live farm
+      std::fprintf(stderr, "farm: no response from %s\n", connect.c_str());
+      return 1;
+    }
+    if (st == farm::RecvStatus::Closed) return follow ? 1 : 2;
+    std::map<std::string, std::string> msg;
+    if (!farm::wire::decode(payload, &msg)) continue;
+    const std::string type = farm::wire::get(msg, "type");
+    if (follow) {
+      if (type == "line") {
+        std::printf("%s\n", farm::wire::get(msg, "line").c_str());
+        std::fflush(stdout);
+      } else if (type == "end") {
+        return 0;
+      }
+      continue;  // the "ok" subscription ack, or stray frames
+    }
+    if (farm::wire::get(msg, "rid") != "1") continue;
+    if (verb == "results") {
+      std::fputs(farm::wire::get(msg, "lines").c_str(), stdout);
+    } else {
+      std::printf("%s\n", farm::wire::get(msg, "json").c_str());
+    }
+    return 0;
+  }
+}
+
 int cmd_query(int argc, char** argv, const std::string& request) {
   ArgParser args("omxfarm " + request, "query a running farm daemon");
   args.add_option("dir", "farm", "farm state directory");
+  args.add_option("connect", "",
+                  "query over the daemon's worker endpoint instead of "
+                  "<dir>/farm.sock");
+  if (request == "results") {
+    args.add_flag("follow", "stream merged lines until the farm finishes");
+    args.add_flag("artifacts",
+                  "print the per-key repro/trace artifact index instead");
+  }
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(),
                  args.usage().c_str());
@@ -201,9 +351,76 @@ int cmd_query(int argc, char** argv, const std::string& request) {
     std::fputs(args.usage().c_str(), stdout);
     return 0;
   }
-  const std::string response = farm::Farm::query(args.get("dir"), request);
+  std::string verb = request;
+  bool follow = false;
+  if (request == "results") {
+    follow = args.flag("follow");
+    if (args.flag("artifacts")) {
+      OMX_REQUIRE(!follow, "--follow and --artifacts are exclusive");
+      verb = "artifacts";
+    }
+  }
+  if (!args.get("connect").empty()) {
+    return framed_query(args.get("connect"), verb, follow);
+  }
+  if (follow) return raw_follow(args.get("dir"));
+  const std::string response = farm::Farm::query(args.get("dir"), verb);
   std::fputs(response.c_str(), stdout);
   return 0;
+}
+
+int cmd_work(int argc, char** argv) {
+  ArgParser args("omxfarm work",
+                 "run trials for a farm daemon over the wire");
+  args.add_option("connect", "",
+                  "daemon worker endpoint (unix:<path> | tcp:<host>:<port> "
+                  "| host:port)");
+  args.add_option("dir", "farmworker",
+                  "worker state directory (result spool, trial outbox, "
+                  "repro captures)");
+  args.add_option("name", "", "worker name (default worker-<pid>)");
+  args.add_option("chaos", "",
+                  "deterministic fault-injection spec for this link, e.g. "
+                  "seed=7,drop=0.2,dup=0.1,delay=0.3:40,sever=0.02");
+  args.add_option("backoff-ms", "100",
+                  "reconnect backoff base (doubles, capped at 5000)");
+  args.add_option("reconnect-ms", "30000",
+                  "give up after this much continuous daemon silence");
+  args.add_option("repro-dir", "",
+                  "crash-repro capture dir (default <dir>/repro)");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(),
+                 args.usage().c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  farm::RemoteWorkerOptions opts;
+  opts.endpoint = args.get("connect");
+  OMX_REQUIRE(!opts.endpoint.empty(), "omxfarm work needs --connect");
+  opts.dir = args.get("dir");
+  opts.name = args.get("name");
+  opts.chaos = args.get("chaos");
+  opts.backoff_base_ms = static_cast<std::uint64_t>(args.get_int("backoff-ms"));
+  opts.reconnect_deadline_ms =
+      static_cast<std::uint64_t>(args.get_int("reconnect-ms"));
+  opts.sweep.repro_dir = args.get("repro-dir").empty()
+                             ? opts.dir + "/repro"
+                             : args.get("repro-dir");
+  farm::RemoteWorker worker(opts);
+  const farm::RemoteWorkerReport report = worker.run();
+  std::fprintf(stderr,
+               "worker: %zu trial(s): %zu submitted, %zu resubmitted from "
+               "spool, %zu crash(es) reported, %zu stale lease(s); "
+               "%llu reconnect(s), %llu heartbeat(s); daemon %s\n",
+               report.trials, report.submitted, report.resubmitted,
+               report.failures_reported, report.stale_leases,
+               static_cast<unsigned long long>(report.reconnects),
+               static_cast<unsigned long long>(report.heartbeats),
+               report.daemon_finished ? "finished" : "unreachable");
+  return report.daemon_finished ? 0 : 1;
 }
 
 int cmd_merge(int argc, char** argv) {
@@ -261,13 +478,16 @@ int run_main(int argc, char** argv) {
   const std::string cmd = argc >= 2 ? argv[1] : "";
   // Re-point argv[1] at the program name so ArgParser sees `omxfarm <cmd>`
   // plus only the flags.
-  if (cmd == "run") return cmd_run(argc - 1, argv + 1);
+  if (cmd == "run") return cmd_run(argc - 1, argv + 1, /*serve=*/false);
+  if (cmd == "serve") return cmd_run(argc - 1, argv + 1, /*serve=*/true);
+  if (cmd == "work") return cmd_work(argc - 1, argv + 1);
   if (cmd == "status") return cmd_query(argc - 1, argv + 1, "status");
   if (cmd == "results") return cmd_query(argc - 1, argv + 1, "results");
   if (cmd == "merge") return cmd_merge(argc - 1, argv + 1);
   if (cmd == "warm") return cmd_warm(argc - 1, argv + 1);
   std::fprintf(stderr,
-               "usage: omxfarm <run|status|results|merge|warm> [flags]\n"
+               "usage: omxfarm <run|serve|work|status|results|merge|warm> "
+               "[flags]\n"
                "       omxfarm <cmd> --help for per-command flags\n");
   return cmd.empty() || cmd == "--help" || cmd == "-h" ? (cmd.empty() ? 2 : 0)
                                                        : 2;

@@ -19,6 +19,8 @@
 // precondition=2, invariant=3, adversary violation=4. An unreadable or
 // corrupt .repro file is its own failure class — exit code 5, with a
 // message naming the file and the byte offset of the first bad line.
+// (omxfarm reuses the same class and exit code for a torn or bit-flipped
+// wire frame: "bad bytes" means exit 5 with an offset, everywhere.)
 //
 // --trace writes a binary event trace per run (`omxtrace stats|dump|diff`
 // analyzes it); combined with --repro it re-traces the captured failure.
