@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/schedule.h"
 #include "adversary/strategies.h"
 #include "baselines/ben_or.h"
 #include "baselines/flood_set.h"
@@ -40,6 +41,7 @@ const char* to_string(Attack a) {
     case Attack::GroupKiller: return "group-killer";
     case Attack::CoinHiding: return "coin-hiding";
     case Attack::Chaos: return "chaos";
+    case Attack::Schedule: return "schedule";
   }
   return "?";
 }
@@ -69,7 +71,8 @@ bool algo_from_string(const std::string& s, Algo* out) {
 bool attack_from_string(const std::string& s, Attack* out) {
   for (auto a : {Attack::None, Attack::StaticCrash, Attack::RandomOmission,
                  Attack::SendOmission, Attack::SplitBrain,
-                 Attack::GroupKiller, Attack::CoinHiding, Attack::Chaos}) {
+                 Attack::GroupKiller, Attack::CoinHiding, Attack::Chaos,
+                 Attack::Schedule}) {
     if (s == to_string(a)) {
       *out = a;
       return true;
@@ -184,6 +187,14 @@ std::unique_ptr<sim::Adversary<Msg>> make_adversary(
     case Attack::Chaos:
       return std::make_unique<adversary::ChaosAdversary<Msg>>(
           cfg.n, mix64(cfg.seed, 0xC4405u));
+    case Attack::Schedule: {
+      adversary::Schedule schedule;
+      std::string err;
+      OMX_REQUIRE(adversary::Schedule::parse(cfg.schedule, &schedule, &err),
+                  "bad schedule: " + err);
+      return std::make_unique<adversary::ScheduleAdversary<Msg>>(
+          std::move(schedule));
+    }
   }
   return std::make_unique<adversary::NullAdversary<Msg>>();
 }
@@ -200,7 +211,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     OMX_REQUIRE(trace::kCompiledIn,
                 "trace_path set but tracing was compiled out "
                 "(OMX_DISABLE_TRACING)");
-    tracer = std::make_unique<trace::TraceWriter>(cfg.trace_path, cfg.n);
+    tracer = std::make_unique<trace::TraceWriter>(cfg.trace_path, cfg.n,
+                                                  cfg.trace_packed);
   }
 
   // Validate the whole config eagerly so a bad trial fails here, with the

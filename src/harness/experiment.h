@@ -34,6 +34,8 @@ enum class Attack {
   GroupKiller,     // silence whole √n-groups
   CoinHiding,      // Theorem-2 full-information vote-hiding strategy
   Chaos,           // seeded random walk over all legal adversarial actions
+  Schedule,        // explicit op-list replay (adversary/schedule.h) — the
+                   // genome representation the omxadv search loop mutates
 };
 
 enum class InputPattern {
@@ -71,6 +73,10 @@ struct ExperimentConfig {
   std::uint64_t random_bit_budget = rng::kUnlimited;
   /// i.i.d. drop probability for RandomOmission.
   double drop_prob = 0.8;
+  /// Attack::Schedule only: the intervention op list in Schedule::parse
+  /// text form ("c0.3,s1.3,d2.3.7"). Part of the config hash — two trials
+  /// with different schedules are different experiments.
+  std::string schedule;
   /// Engine safety cap; 0 = machine schedule + slack.
   std::uint64_t max_rounds = 0;
   /// Cooperative wall-clock watchdog for the whole run, in milliseconds;
@@ -103,6 +109,10 @@ struct ExperimentConfig {
   /// stream is bit-identical across `threads` settings. Requires tracing to
   /// be compiled in (the default; see OMX_DISABLE_TRACING).
   std::string trace_path;
+  /// Write the trace in the packed (compressed-block) storage format — the
+  /// same event stream, ~5-25x fewer bytes on disk; every reader handles
+  /// both formats transparently. Outcome-neutral, like trace_path.
+  bool trace_packed = false;
 };
 
 struct ExperimentResult {

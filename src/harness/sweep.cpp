@@ -282,6 +282,7 @@ std::string serialize_config(const ExperimentConfig& cfg) {
   os << "seed=" << cfg.seed << "\n";
   os << "random_bit_budget=" << cfg.random_bit_budget << "\n";
   os << "drop_prob=" << format_double(cfg.drop_prob) << "\n";
+  if (!cfg.schedule.empty()) os << "schedule=" << cfg.schedule << "\n";
   os << "max_rounds=" << cfg.max_rounds << "\n";
   os << "deadline_ms=" << cfg.deadline_ms << "\n";
   os << "threads=" << cfg.threads << "\n";
@@ -289,6 +290,7 @@ std::string serialize_config(const ExperimentConfig& cfg) {
   if (cfg.streamed) os << "streamed=1\n";
   if (cfg.pipeline) os << "pipeline=1\n";
   if (!cfg.trace_path.empty()) os << "trace_path=" << cfg.trace_path << "\n";
+  if (cfg.trace_packed) os << "trace_packed=1\n";
   os << "params.delta_factor=" << format_double(cfg.params.delta_factor)
      << "\n";
   os << "params.spread_factor=" << format_double(cfg.params.spread_factor)
@@ -350,6 +352,8 @@ bool parse_config(const std::string& text, ExperimentConfig* out,
       cfg.random_bit_budget = to_u64(v);
     } else if (k == "drop_prob") {
       cfg.drop_prob = std::strtod(v.c_str(), nullptr);
+    } else if (k == "schedule") {
+      cfg.schedule = v;
     } else if (k == "max_rounds") {
       cfg.max_rounds = to_u64(v);
     } else if (k == "deadline_ms") {
@@ -364,6 +368,8 @@ bool parse_config(const std::string& text, ExperimentConfig* out,
       cfg.pipeline = v == "1" || v == "true";
     } else if (k == "trace_path") {
       cfg.trace_path = v;
+    } else if (k == "trace_packed") {
+      cfg.trace_packed = v == "1" || v == "true";
     } else if (k == "params.delta_factor") {
       cfg.params.delta_factor = std::strtod(v.c_str(), nullptr);
     } else if (k == "params.spread_factor") {
@@ -394,6 +400,7 @@ std::uint64_t config_hash(const ExperimentConfig& cfg) {
   canon.threads = 1;
   canon.engine_stats = nullptr;
   canon.trace_path.clear();
+  canon.trace_packed = false;  // storage format, not behaviour
   canon.pipeline = false;
   return fnv1a(serialize_config(canon));
 }
@@ -536,6 +543,10 @@ std::string Sweep::capture_repro(const ExperimentConfig& cfg,
   if (options_.capture_trace && trace::kCompiledIn) {
     ExperimentConfig traced = cfg;
     traced.trace_path = stem + ".trace";
+    // Captures are written packed: every reader handles both formats, the
+    // farm indexes by filename, and compressed artifacts are the point of
+    // storing traces per failure at all (ROADMAP item 3).
+    traced.trace_packed = true;
     const TrialOutcome replay = run_isolated(traced);
     if (replay.verdict != outcome.verdict) {
       std::fprintf(stderr,

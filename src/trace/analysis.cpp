@@ -158,11 +158,35 @@ Divergence first_divergence(const TraceData& a, const TraceData& b) {
 
 void print_stats(const TraceData& t, std::ostream& os) {
   char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "trace: n=%u, %zu event(s)\n"
-                "%8s %10s %14s %8s %6s %9s %9s\n",
-                t.header.n, t.events.size(), "round", "messages", "bits",
-                "omitted", "corr", "rng calls", "rng bits");
+  std::snprintf(buf, sizeof buf, "trace: n=%u, %zu event(s), %s format\n",
+                t.header.n, t.events.size(), t.packed ? "packed" : "raw");
+  os << buf;
+  if (t.packed && t.file_bytes > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "packed: %llu byte(s) on disk, %llu raw — ratio %.2fx\n",
+                  static_cast<unsigned long long>(t.file_bytes),
+                  static_cast<unsigned long long>(t.raw_bytes()),
+                  static_cast<double>(t.raw_bytes()) /
+                      static_cast<double>(t.file_bytes));
+    os << buf;
+  }
+  // Per-kind record counts: the storage-level view of the stream — what
+  // the codec's column runs are actually made of.
+  std::uint64_t by_kind[kMaxKind + 1] = {};
+  for (const Event& e : t.events) {
+    if (e.kind <= kMaxKind) by_kind[e.kind] += 1;
+  }
+  os << "records:";
+  for (std::uint16_t k = 1; k <= kMaxKind; ++k) {
+    if (by_kind[k] == 0) continue;
+    std::snprintf(buf, sizeof buf, " %s=%llu", kind_name(k),
+                  static_cast<unsigned long long>(by_kind[k]));
+    os << buf;
+  }
+  os << "\n";
+  std::snprintf(buf, sizeof buf, "%8s %10s %14s %8s %6s %9s %9s\n", "round",
+                "messages", "bits", "omitted", "corr", "rng calls",
+                "rng bits");
   os << buf;
   for (const RoundEnvelope& env : envelopes(t.events)) {
     std::snprintf(buf, sizeof buf,

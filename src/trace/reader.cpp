@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "support/check.h"
+#include "trace/codec.h"
 
 namespace omx::trace {
 
@@ -18,9 +19,9 @@ struct FileCloser {
 }  // namespace
 
 // Every validation failure throws CorruptInputError carrying the path and
-// the byte offset of the first bad record, so `omxtrace` reports exactly
-// where a file went wrong and exits with the corrupt-input code (5) instead
-// of a generic failure.
+// the byte offset of the first bad record or block, so `omxtrace` reports
+// exactly where a file went wrong and exits with the corrupt-input code (5)
+// instead of a generic failure.
 TraceData read_trace(const std::string& path) {
   std::unique_ptr<std::FILE, FileCloser> file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
@@ -41,17 +42,44 @@ TraceData read_trace(const std::string& path) {
             ", expected " + std::to_string(kFormatVersion) +
             " (or the file was written on a different-endian machine)");
   }
+  if ((data.header.flags & ~kHeaderKnownFlags) != 0) {
+    // Unknown flag bits mean an unknown body layout: reading the records
+    // anyway would silently misparse, so fail at the flag word instead.
+    char bits[32];
+    std::snprintf(bits, sizeof bits, "0x%llx",
+                  static_cast<unsigned long long>(data.header.flags &
+                                                  ~kHeaderKnownFlags));
+    throw CorruptInputError(path, offsetof(FileHeader, flags),
+                            std::string("unknown header flag bits ") + bits);
+  }
+  data.packed = (data.header.flags & kHeaderFlagPacked) != 0;
+
+  OMX_REQUIRE(std::fseek(file.get(), 0, SEEK_END) == 0,
+              "trace: cannot seek in " + path);
+  const long end = std::ftell(file.get());
+  OMX_REQUIRE(end >= 0, "trace: cannot tell file size of " + path);
+  data.file_bytes = static_cast<std::uint64_t>(end);
+  const std::size_t body = static_cast<std::size_t>(end) - sizeof data.header;
+  OMX_REQUIRE(std::fseek(file.get(), sizeof data.header, SEEK_SET) == 0,
+              "trace: cannot seek in " + path);
+
+  if (data.packed) {
+    // Incremental block decode: each block is validated (marker, lengths,
+    // checksum, run-length bookkeeping) before its records are kept, and
+    // corruption is reported at the offending block's byte offset.
+    PackedDecoder decoder(file.get(), path, sizeof data.header);
+    std::vector<Event> block;
+    while (decoder.next(&block)) {
+      data.events.insert(data.events.end(), block.begin(), block.end());
+    }
+    return data;
+  }
 
   // A tail that is not a whole record means the writer was killed without
   // unwinding (the destructor flushes even on engine exceptions) — refuse
   // to present half a record as data. Checked by size up front: fread
   // consumes a partial trailing item while reporting 0 items read, so it
   // cannot be detected after the fact.
-  OMX_REQUIRE(std::fseek(file.get(), 0, SEEK_END) == 0,
-              "trace: cannot seek in " + path);
-  const long end = std::ftell(file.get());
-  OMX_REQUIRE(end >= 0, "trace: cannot tell file size of " + path);
-  const std::size_t body = static_cast<std::size_t>(end) - sizeof data.header;
   if (body % sizeof(Event) != 0) {
     // The offset names the start of the partial record: everything before
     // it is intact data a salvage tool could keep.
@@ -63,8 +91,6 @@ TraceData read_trace(const std::string& path) {
                                 " stray byte(s) after " +
                                 std::to_string(whole) + " whole record(s))");
   }
-  OMX_REQUIRE(std::fseek(file.get(), sizeof data.header, SEEK_SET) == 0,
-              "trace: cannot seek in " + path);
 
   std::vector<Event> chunk(4096);
   for (;;) {

@@ -88,12 +88,20 @@ static_assert(std::is_trivially_copyable_v<Event>,
 inline constexpr char kMagic[8] = {'O', 'M', 'X', 'T', 'R', 'A', 'C', 'E'};
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+/// Header flag bits, stored in FileHeader::flags. Bit 0 marks a *packed*
+/// body: the record stream is a sequence of self-contained compressed
+/// blocks (see trace/codec.h) instead of raw 24-byte records. Any other
+/// bit set is an unknown format extension and readers must refuse it as
+/// corrupt input rather than misparse the body.
+inline constexpr std::uint64_t kHeaderFlagPacked = std::uint64_t{1} << 0;
+inline constexpr std::uint64_t kHeaderKnownFlags = kHeaderFlagPacked;
+
 /// The 24-byte file header preceding the record stream.
 struct FileHeader {
   char magic[8];
   std::uint32_t version;
-  std::uint32_t n;         // process count of the traced system
-  std::uint64_t reserved;  // always 0 in format version 1
+  std::uint32_t n;      // process count of the traced system
+  std::uint64_t flags;  // kHeaderFlag* bits; 0 = raw fixed-width records
 };
 static_assert(sizeof(FileHeader) == 24, "trace header is 24 bytes on disk");
 static_assert(std::is_trivially_copyable_v<FileHeader>,
@@ -107,9 +115,12 @@ class TraceWriter {
   /// Events batched between fwrite flushes (64Ki records = 1.5 MiB).
   static constexpr std::size_t kRingEvents = std::size_t{1} << 16;
 
-  /// Opens `path` for writing and emits the header. Throws
-  /// PreconditionError if the file cannot be created.
-  TraceWriter(std::string path, std::uint32_t n);
+  /// Opens `path` for writing and emits the header. With `packed`, the
+  /// body is written as compressed blocks (one per ring flush — see
+  /// trace/codec.h) and the header carries kHeaderFlagPacked; the record
+  /// *stream* is identical either way, only the bytes on disk differ.
+  /// Throws PreconditionError if the file cannot be created.
+  TraceWriter(std::string path, std::uint32_t n, bool packed = false);
   ~TraceWriter();
 
   TraceWriter(const TraceWriter&) = delete;
@@ -135,6 +146,7 @@ class TraceWriter {
 
   std::uint64_t emitted() const { return emitted_; }
   const std::string& path() const { return path_; }
+  bool packed() const { return packed_; }
 
  private:
   void flush_ring();
@@ -144,6 +156,8 @@ class TraceWriter {
   std::vector<Event> ring_;
   std::size_t used_ = 0;
   std::uint64_t emitted_ = 0;
+  bool packed_ = false;
+  std::string pack_buffer_;  // reused scratch for packed flushes
 };
 
 }  // namespace omx::trace

@@ -1,0 +1,217 @@
+// The packed trace storage format (trace/codec.h): pack/unpack losslessness
+// (byte-identity both directions), the TraceWriter packed path, the >5x
+// compression target on flood-heavy traffic, and the corruption surface of
+// the incremental decoder — truncated tails, flipped bytes, bad header
+// flags and bad block markers are all CorruptInputError with the offending
+// file and a byte offset, never a crash or a silently short read.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "support/check.h"
+#include "trace/codec.h"
+#include "trace/reader.h"
+#include "trace/trace.h"
+
+namespace omx::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("omx_codec_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const fs::path& p, const std::string& bytes) {
+  std::ofstream(p, std::ios::binary | std::ios::trunc) << bytes;
+}
+
+/// A real trace to compress: an experiment run with the trace attached.
+TraceData run_traced(const fs::path& path, harness::Algo algo,
+                     harness::Attack attack, std::uint32_t n, bool packed) {
+  harness::ExperimentConfig cfg;
+  cfg.algo = algo;
+  cfg.attack = attack;
+  cfg.n = n;
+  cfg.t = n / 8;
+  cfg.seed = 7;
+  cfg.trace_path = path.string();
+  cfg.trace_packed = packed;
+  (void)harness::run_experiment(cfg);
+  return read_trace(path.string());
+}
+
+// ---------------------------------------------------------------------------
+// Losslessness.
+
+TEST(TraceCodec, PackUnpackIsTheIdentityBothWays) {
+  const fs::path dir = scratch("identity");
+  const TraceData raw = run_traced(dir / "raw.trace", harness::Algo::BenOr,
+                                   harness::Attack::RandomOmission, 24,
+                                   /*packed=*/false);
+  ASSERT_FALSE(raw.packed);
+  ASSERT_FALSE(raw.events.empty());
+
+  write_trace(raw, (dir / "packed.trace").string(), /*packed=*/true);
+  const TraceData packed = read_trace((dir / "packed.trace").string());
+  EXPECT_TRUE(packed.packed);
+  ASSERT_EQ(packed.events.size(), raw.events.size());
+  EXPECT_EQ(0, std::memcmp(packed.events.data(), raw.events.data(),
+                           raw.events.size() * sizeof(Event)));
+
+  // unpack(pack(t)) is byte-identical to t, and pack(unpack(p)) to p.
+  write_trace(packed, (dir / "raw2.trace").string(), /*packed=*/false);
+  EXPECT_EQ(slurp(dir / "raw.trace"), slurp(dir / "raw2.trace"));
+  write_trace(read_trace((dir / "raw2.trace").string()),
+              (dir / "packed2.trace").string(), /*packed=*/true);
+  EXPECT_EQ(slurp(dir / "packed.trace"), slurp(dir / "packed2.trace"));
+}
+
+TEST(TraceCodec, WriterPackedPathMatchesOfflinePack) {
+  // The engine writing packed directly (trace_packed) must produce the
+  // same file as packing the raw trace offline — same events, same block
+  // boundaries (both go through the TraceWriter ring).
+  const fs::path dir = scratch("writer");
+  const TraceData raw = run_traced(dir / "raw.trace", harness::Algo::FloodSet,
+                                   harness::Attack::RandomOmission, 32,
+                                   /*packed=*/false);
+  const TraceData live = run_traced(dir / "live.trace", harness::Algo::FloodSet,
+                                    harness::Attack::RandomOmission, 32,
+                                    /*packed=*/true);
+  ASSERT_TRUE(live.packed);
+  write_trace(raw, (dir / "offline.trace").string(), /*packed=*/true);
+  EXPECT_EQ(slurp(dir / "live.trace"), slurp(dir / "offline.trace"));
+}
+
+TEST(TraceCodec, FloodTrafficCompressesPastFiveX) {
+  const fs::path dir = scratch("ratio");
+  const TraceData packed = run_traced(
+      dir / "p.trace", harness::Algo::FloodSet,
+      harness::Attack::RandomOmission, 128, /*packed=*/true);
+  ASSERT_GT(packed.file_bytes, 0u);
+  const double ratio = static_cast<double>(packed.raw_bytes()) /
+                       static_cast<double>(packed.file_bytes);
+  EXPECT_GT(ratio, 5.0) << "raw " << packed.raw_bytes() << " packed "
+                        << packed.file_bytes;
+}
+
+TEST(TraceCodec, MultiBlockStreamsDecodeBlockIndependently) {
+  // Two ring flushes -> two blocks; the second block's deltas must not
+  // lean on the first (the decoder resets predecessors per block).
+  const fs::path dir = scratch("blocks");
+  const fs::path path = dir / "two.trace";
+  std::vector<Event> events;
+  {
+    TraceWriter w(path.string(), 4, /*packed=*/true);
+    for (std::uint32_t i = 0; i < TraceWriter::kRingEvents + 100; ++i) {
+      const Event e{i, kSend, 0, i % 4, (i + 1) % 4, std::uint64_t{i} * 3};
+      events.push_back(e);
+      w.emit(e);
+    }
+    w.close();
+  }
+  const TraceData t = read_trace(path.string());
+  ASSERT_EQ(t.events.size(), events.size());
+  EXPECT_EQ(0, std::memcmp(t.events.data(), events.data(),
+                           events.size() * sizeof(Event)));
+}
+
+// ---------------------------------------------------------------------------
+// Corruption surface. Every mutilation is CorruptInputError carrying the
+// path and a byte offset (the taxonomy contract: exit 5 via guarded_main).
+
+class PackedCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = scratch("corrupt");
+    path_ = dir_ / "p.trace";
+    (void)run_traced(path_, harness::Algo::BenOr,
+                     harness::Attack::RandomOmission, 24, /*packed=*/true);
+    bytes_ = slurp(path_);
+    ASSERT_GT(bytes_.size(), sizeof(FileHeader) + 16);
+  }
+
+  /// Expect read_trace(path) to throw with the path and a plausible offset.
+  void expect_corrupt(const fs::path& p, std::uint64_t min_offset,
+                      std::uint64_t max_offset) {
+    try {
+      (void)read_trace(p.string());
+      FAIL() << "read_trace accepted " << p;
+    } catch (const CorruptInputError& e) {
+      EXPECT_EQ(e.path(), p.string());
+      EXPECT_GE(e.byte_offset(), min_offset);
+      EXPECT_LE(e.byte_offset(), max_offset);
+    }
+  }
+
+  fs::path dir_;
+  fs::path path_;
+  std::string bytes_;
+};
+
+TEST_F(PackedCorruption, TruncatedTail) {
+  // A kill -9 mid-flush: the final block is cut short. The offset must
+  // point into the torn block, not at 0.
+  const fs::path torn = dir_ / "torn.trace";
+  spit(torn, bytes_.substr(0, bytes_.size() - 9));
+  expect_corrupt(torn, sizeof(FileHeader), bytes_.size());
+}
+
+TEST_F(PackedCorruption, BitFlippedBody) {
+  // Flip one byte in the middle of the block body: the checksum (or, for
+  // some flips, a column decode) must catch it.
+  const fs::path flipped = dir_ / "flipped.trace";
+  std::string b = bytes_;
+  b[b.size() / 2] ^= 0x20;
+  spit(flipped, b);
+  expect_corrupt(flipped, sizeof(FileHeader), bytes_.size());
+}
+
+TEST_F(PackedCorruption, BadBlockMarker) {
+  const fs::path bad = dir_ / "marker.trace";
+  std::string b = bytes_;
+  b[sizeof(FileHeader)] = 'X';  // first block's marker byte
+  spit(bad, b);
+  expect_corrupt(bad, sizeof(FileHeader), sizeof(FileHeader));
+}
+
+TEST_F(PackedCorruption, UnknownHeaderFlagBits) {
+  // A flag word from the future (or a flipped bit): rejected at the header,
+  // offset = the flag field itself.
+  const fs::path bad = dir_ / "flags.trace";
+  std::string b = bytes_;
+  b[offsetof(FileHeader, flags)] |= 0x40;
+  spit(bad, b);
+  expect_corrupt(bad, offsetof(FileHeader, flags),
+                 offsetof(FileHeader, flags));
+}
+
+TEST_F(PackedCorruption, ImplausibleRecordCount) {
+  // Corrupt the record-count varint to something past the ring capacity.
+  const fs::path bad = dir_ / "count.trace";
+  std::string b = bytes_;
+  // marker | varint count … — make the count varint huge (5 x 0xff + 0x7f).
+  b.replace(sizeof(FileHeader) + 1, 1, 1, '\xff');
+  spit(bad, b);
+  expect_corrupt(bad, sizeof(FileHeader), bytes_.size());
+}
+
+}  // namespace
+}  // namespace omx::trace

@@ -50,4 +50,74 @@ expect_corrupt(COMMAND ${OMXSIM} --repro "${WORK_DIR}/bad.repro"
 expect_corrupt(COMMAND ${OMXSIM} --repro "${WORK_DIR}/does-not-exist.repro"
                NEEDLES "does-not-exist.repro" "cannot open")
 
+# --- Packed (compressed-block) traces share the same taxonomy. -------------
+# Produce a real packed trace, then mutilate copies of it: a truncated tail,
+# a flipped byte inside the first block, and an unknown header flag bit must
+# each be exit 5 with the file and a byte offset. (`dd` for the byte surgery:
+# cmake cannot write binary, and CI runs this on Linux only.)
+execute_process(COMMAND ${OMXSIM} --algo benor --attack rand-omit --n 16
+                        --trace "${WORK_DIR}/p.trace" --trace-packed
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "packed trace setup failed (${rc}):\n${out}\n${err}")
+endif()
+execute_process(COMMAND ${OMXTRACE} stats "${WORK_DIR}/p.trace"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE stats_out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT stats_out MATCHES "packed" OR
+   NOT stats_out MATCHES "ratio")
+  message(FATAL_ERROR
+          "stats should accept the packed trace and report its compression "
+          "ratio (${rc}):\n${stats_out}\n${err}")
+endif()
+
+file(READ "${WORK_DIR}/p.trace" packed_hex HEX)
+string(LENGTH "${packed_hex}" packed_hex_len)
+math(EXPR packed_size "${packed_hex_len} / 2")
+
+# Truncated tail: the offset must point into the torn block, not at 0.
+math(EXPR torn_size "${packed_size} - 9")
+configure_file("${WORK_DIR}/p.trace" "${WORK_DIR}/p_torn.trace" COPYONLY)
+execute_process(COMMAND truncate -s ${torn_size} "${WORK_DIR}/p_torn.trace"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "truncate failed")
+endif()
+expect_corrupt(COMMAND ${OMXTRACE} stats "${WORK_DIR}/p_torn.trace"
+               NEEDLES "p_torn.trace" "byte offset")
+
+# One flipped byte inside the first block (offset 40 = 16 bytes past the
+# header: the block's varints / checksum / body): the checksum or a column
+# decode must refuse it. Pick a replacement byte that differs from the
+# original so the write is a real flip.
+string(SUBSTRING "${packed_hex}" 80 2 orig_byte)
+if(orig_byte STREQUAL "41")
+  file(WRITE "${WORK_DIR}/flip.byte" "B")
+else()
+  file(WRITE "${WORK_DIR}/flip.byte" "A")
+endif()
+configure_file("${WORK_DIR}/p.trace" "${WORK_DIR}/p_flip.trace" COPYONLY)
+execute_process(COMMAND dd if=${WORK_DIR}/flip.byte
+                        of=${WORK_DIR}/p_flip.trace
+                        bs=1 seek=40 count=1 conv=notrunc
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dd failed: ${err}")
+endif()
+expect_corrupt(COMMAND ${OMXTRACE} stats "${WORK_DIR}/p_flip.trace"
+               NEEDLES "p_flip.trace" "byte offset")
+
+# An unknown header flag bit (byte 16 is the low byte of the u64 flag word):
+# refused at the header, offset 16, before any body parsing.
+configure_file("${WORK_DIR}/p.trace" "${WORK_DIR}/p_flag.trace" COPYONLY)
+execute_process(COMMAND dd if=${WORK_DIR}/flip.byte
+                        of=${WORK_DIR}/p_flag.trace
+                        bs=1 seek=16 count=1 conv=notrunc
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dd failed: ${err}")
+endif()
+expect_corrupt(COMMAND ${OMXTRACE} stats "${WORK_DIR}/p_flag.trace"
+               NEEDLES "p_flag.trace" "byte offset 16" "header flag")
+
 message(STATUS "corrupt-input taxonomy OK")

@@ -93,7 +93,10 @@ int run_main(int argc, char** argv) {
                   "optimal | param | floodset | benor");
   args.add_option("attack", "none",
                   "none | crash | rand-omit | send-omit | split-brain | "
-                  "group-killer | coin-hiding | chaos");
+                  "group-killer | coin-hiding | chaos | schedule");
+  args.add_option("schedule", "",
+                  "op list for --attack schedule (c<r>.<p>, s<r>.<p>, "
+                  "d<r>.<from>.<to>, comma-separated; see omxadv)");
   args.add_option("n", "128", "number of processes");
   args.add_option("t", "-1", "fault budget (-1 = max tolerated by the algo)");
   args.add_option("x", "4", "super-process count (param only)");
@@ -121,6 +124,9 @@ int run_main(int argc, char** argv) {
   args.add_option("trace", "",
                   "write a binary event trace to this path (suffixed "
                   ".<seed> when --seeds > 1); analyze with omxtrace");
+  args.add_flag("trace-packed",
+                "write the trace in the packed (compressed) storage format; "
+                "same event stream, omxtrace reads both");
   args.add_flag("packed",
                 "word-packed knowledge views (floodset/benor); bit-identical "
                 "results, much faster at large n");
@@ -166,6 +172,8 @@ int run_main(int argc, char** argv) {
   const auto budget = args.get_int("budget");
   if (budget >= 0) cfg.random_bit_budget = static_cast<std::uint64_t>(budget);
   cfg.threads = static_cast<unsigned>(args.get_int("threads"));
+  cfg.schedule = args.get("schedule");
+  cfg.trace_packed = args.flag("trace-packed");
   cfg.packed = args.flag("packed");
   cfg.streamed = args.flag("streamed");
   cfg.pipeline = args.flag("pipeline");
