@@ -1,0 +1,78 @@
+#include "advsearch/score.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace omx::advsearch {
+
+std::string Score::to_string() const {
+  return "rounds=" + std::to_string(rounds_to_decide) +
+         " rand_bits=" + std::to_string(rand_bits) +
+         " delivered=" + std::to_string(delivered) +
+         (all_decided ? "" : " (undecided)");
+}
+
+Score score_trace(const trace::TraceData& t) {
+  Score s;
+  std::uint64_t rounds = 0, messages = 0, omitted = 0;
+  std::vector<std::uint8_t> corrupted(t.header.n, 0);
+  std::vector<std::uint8_t> decided(t.header.n, 0);
+  std::uint64_t last_decide_round = 0;
+  bool any_decide = false;
+  for (const trace::Event& e : t.events) {
+    switch (e.kind) {
+      case trace::kRoundBegin: rounds += 1; break;
+      case trace::kRngDraw: s.rand_bits += e.dst; break;
+      case trace::kCorrupt:
+        if (e.src < corrupted.size()) corrupted[e.src] = 1;
+        break;
+      case trace::kSend: messages += 1; break;
+      case trace::kDrop: omitted += 1; break;
+      case trace::kDecide:
+        if (e.src < decided.size()) {
+          decided[e.src] = 1;
+          // A corrupted process's decision does not bound the run; filter
+          // below once the full corrupted set is known.
+        }
+        break;
+      default: break;
+    }
+  }
+  s.delivered = messages - omitted;
+  s.all_decided = true;
+  for (std::uint32_t p = 0; p < t.header.n; ++p) {
+    if (corrupted[p]) continue;
+    if (!decided[p]) {
+      s.all_decided = false;
+      continue;
+    }
+  }
+  // Second pass for the decision horizon: kDecide rounds of non-corrupted
+  // processes only (their `round` field is the decision round).
+  for (const trace::Event& e : t.events) {
+    if (e.kind != trace::kDecide || e.src >= corrupted.size()) continue;
+    if (corrupted[e.src]) continue;
+    any_decide = true;
+    last_decide_round = std::max(last_decide_round, std::uint64_t{e.round});
+  }
+  s.rounds_to_decide =
+      (s.all_decided && any_decide) ? last_decide_round + 1 : rounds + 1;
+  return s;
+}
+
+adversary::Schedule extract_schedule(const trace::TraceData& t) {
+  adversary::Schedule s;
+  for (const trace::Event& e : t.events) {
+    if (e.kind == trace::kCorrupt) {
+      s.ops.push_back({adversary::ScheduleOp::Kind::Corrupt, e.round, e.src,
+                       0});
+    } else if (e.kind == trace::kDrop) {
+      s.ops.push_back(
+          {adversary::ScheduleOp::Kind::Drop, e.round, e.src, e.dst});
+    }
+  }
+  s.normalize();
+  return s;
+}
+
+}  // namespace omx::advsearch

@@ -1,0 +1,67 @@
+// Scoring and schedule extraction: the trace-reading half of the omxadv
+// loop (search.h drives it).
+//
+// A candidate adversary is judged entirely from the event trace of its
+// replay — the same compressed stream the engine writes anyway — so the
+// scorer sees exactly what an offline analyst would: rounds until the last
+// honest decision, randomness the protocol was forced to burn, messages
+// that actually got through. Reading the trace (rather than trusting the
+// in-process ExperimentResult) keeps the loop honest end-to-end: what the
+// search optimizes is what `omxtrace stats` reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/schedule.h"
+#include "trace/reader.h"
+
+namespace omx::advsearch {
+
+/// What the adversary achieved, read from a run's trace. An omission
+/// adversary wants decisions *late*, coins *spent*, and deliveries *few*,
+/// so "better" for the search means lexicographically greater
+/// (rounds_to_decide, rand_bits, -delivered).
+struct Score {
+  /// Rounds until the last non-corrupted process decided; a run where some
+  /// honest process never decided scores total-rounds + 1 (strictly worse
+  /// for the protocol than any deciding run of the same length).
+  std::uint64_t rounds_to_decide = 0;
+  std::uint64_t rand_bits = 0;   // total random bits drawn
+  std::uint64_t delivered = 0;   // messages sent minus messages omitted
+  bool all_decided = false;      // every non-corrupted process decided
+
+  friend bool operator==(const Score&, const Score&) = default;
+
+  /// Deterministic total order: integer lexicographic compare, no floats.
+  bool better_than(const Score& o) const {
+    if (rounds_to_decide != o.rounds_to_decide) {
+      return rounds_to_decide > o.rounds_to_decide;
+    }
+    if (rand_bits != o.rand_bits) return rand_bits > o.rand_bits;
+    return delivered < o.delivered;
+  }
+
+  /// Scalar objective for annealing acceptance (exact on these integer
+  /// ranges: rounds <= ~1e4, rand_bits <= ~1e9, delivered <= ~1e8).
+  double scalar() const {
+    return 1e12 * static_cast<double>(rounds_to_decide) +
+           1e2 * static_cast<double>(rand_bits) -
+           static_cast<double>(delivered);
+  }
+
+  std::string to_string() const;
+};
+
+/// Compute the Score of a loaded trace (either storage format).
+Score score_trace(const trace::TraceData& t);
+
+/// Write an executed run back down as a Schedule: every kCorrupt event
+/// becomes a c-op, every kDrop a d-op. Because the engine is deterministic
+/// and the extracted ops reproduce the original interventions exactly,
+/// replaying the result through a ScheduleAdversary regenerates the
+/// original trace byte for byte — which is how the search seeds itself
+/// from an analytic strategy and inherits its score as the floor.
+adversary::Schedule extract_schedule(const trace::TraceData& t);
+
+}  // namespace omx::advsearch

@@ -135,7 +135,10 @@ TraceTotals totals(std::span<const Event> events) {
 
 Divergence first_divergence(const TraceData& a, const TraceData& b) {
   Divergence d;
-  if (a.header.n != b.header.n || a.header.version != b.header.version) {
+  // Only `n` is semantic: version 1 (raw) and 2 (packed) are encodings of
+  // the same record stream, and both arrive here fully decoded, so a packed
+  // trace must diff as equal against its unpacked twin.
+  if (a.header.n != b.header.n) {
     d.diverged = true;
     d.header_mismatch = true;
     return d;

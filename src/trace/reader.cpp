@@ -35,11 +35,13 @@ TraceData read_trace(const std::string& path) {
   if (std::memcmp(data.header.magic, kMagic, sizeof kMagic) != 0) {
     throw CorruptInputError(path, 0, "not a trace file (bad magic)");
   }
-  if (data.header.version != kFormatVersion) {
+  if (data.header.version != kFormatVersion &&
+      data.header.version != kFormatVersionPacked) {
     throw CorruptInputError(
         path, offsetof(FileHeader, version),
         "format version " + std::to_string(data.header.version) +
-            ", expected " + std::to_string(kFormatVersion) +
+            ", expected " + std::to_string(kFormatVersion) + " or " +
+            std::to_string(kFormatVersionPacked) +
             " (or the file was written on a different-endian machine)");
   }
   if ((data.header.flags & ~kHeaderKnownFlags) != 0) {
@@ -53,6 +55,14 @@ TraceData read_trace(const std::string& path) {
                             std::string("unknown header flag bits ") + bits);
   }
   data.packed = (data.header.flags & kHeaderFlagPacked) != 0;
+  if (data.packed != (data.header.version == kFormatVersionPacked)) {
+    // The packed flag and the version must agree; a header where they
+    // disagree was stitched or flipped, and guessing the body layout from
+    // either field alone risks the misparse both exist to prevent.
+    throw CorruptInputError(path, offsetof(FileHeader, flags),
+                            "header flags disagree with format version " +
+                                std::to_string(data.header.version));
+  }
 
   OMX_REQUIRE(std::fseek(file.get(), 0, SEEK_END) == 0,
               "trace: cannot seek in " + path);

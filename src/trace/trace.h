@@ -86,13 +86,23 @@ static_assert(std::is_trivially_copyable_v<Event>,
               "trace records are written/read as raw bytes");
 
 inline constexpr char kMagic[8] = {'O', 'M', 'X', 'T', 'R', 'A', 'C', 'E'};
-inline constexpr std::uint32_t kFormatVersion = 1;
 
-/// Header flag bits, stored in FileHeader::flags. Bit 0 marks a *packed*
-/// body: the record stream is a sequence of self-contained compressed
-/// blocks (see trace/codec.h) instead of raw 24-byte records. Any other
-/// bit set is an unknown format extension and readers must refuse it as
-/// corrupt input rather than misparse the body.
+/// Format versions. Version 1 is the original raw layout: the header
+/// followed by naked 24-byte records. Version 2 is a *packed* body — a
+/// sequence of self-contained compressed blocks (see trace/codec.h).
+/// Packed files bump the version rather than only setting a flag bit
+/// because version-1 readers predating the codec never validated the
+/// (then-reserved) flag word: a flag-only marker would let them misparse
+/// a compressed body as raw records, while an unknown version is rejected
+/// by every reader ever shipped.
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersionPacked = 2;
+
+/// Header flag bits, stored in FileHeader::flags. Bit 0 marks a packed
+/// body and is set exactly when version == kFormatVersionPacked (readers
+/// reject a header where the two disagree). Any other bit set is an
+/// unknown format extension and readers must refuse it as corrupt input
+/// rather than misparse the body.
 inline constexpr std::uint64_t kHeaderFlagPacked = std::uint64_t{1} << 0;
 inline constexpr std::uint64_t kHeaderKnownFlags = kHeaderFlagPacked;
 

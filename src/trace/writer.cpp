@@ -15,7 +15,7 @@ TraceWriter::TraceWriter(std::string path, std::uint32_t n, bool packed)
   ring_.resize(kRingEvents);
   FileHeader header{};
   std::memcpy(header.magic, kMagic, sizeof kMagic);
-  header.version = kFormatVersion;
+  header.version = packed_ ? kFormatVersionPacked : kFormatVersion;
   header.n = n;
   header.flags = packed_ ? kHeaderFlagPacked : 0;
   const std::size_t wrote = std::fwrite(&header, sizeof header, 1, file_);

@@ -203,6 +203,38 @@ TEST_F(PackedCorruption, UnknownHeaderFlagBits) {
                  offsetof(FileHeader, flags));
 }
 
+TEST_F(PackedCorruption, PackedFilesCarryVersionTwo) {
+  // The version bump is what makes pre-codec readers (which validate the
+  // version but never validated the then-reserved flag word) reject packed
+  // files instead of misparsing the blocks as raw 24-byte records.
+  FileHeader h;
+  std::memcpy(&h, bytes_.data(), sizeof h);
+  EXPECT_EQ(h.version, kFormatVersionPacked);
+  EXPECT_EQ(h.flags, kHeaderFlagPacked);
+}
+
+TEST_F(PackedCorruption, VersionAndPackedFlagMustAgree) {
+  // A packed header downgraded to version 1 (and the reverse: the packed
+  // flag cleared while version stays 2) is a stitched or flipped header —
+  // rejected rather than trusting either field to pick the body layout.
+  const std::uint32_t raw_version = kFormatVersion;
+  std::string downgraded = bytes_;
+  downgraded.replace(offsetof(FileHeader, version), sizeof raw_version,
+                     reinterpret_cast<const char*>(&raw_version),
+                     sizeof raw_version);
+  const fs::path bad_version = dir_ / "downgraded.trace";
+  spit(bad_version, downgraded);
+  expect_corrupt(bad_version, offsetof(FileHeader, flags),
+                 offsetof(FileHeader, flags));
+
+  std::string unflagged = bytes_;
+  unflagged[offsetof(FileHeader, flags)] &= ~0x01;
+  const fs::path bad_flags = dir_ / "unflagged.trace";
+  spit(bad_flags, unflagged);
+  expect_corrupt(bad_flags, offsetof(FileHeader, flags),
+                 offsetof(FileHeader, flags));
+}
+
 TEST_F(PackedCorruption, ImplausibleRecordCount) {
   // Corrupt the record-count varint to something past the ring capacity.
   const fs::path bad = dir_ / "count.trace";
